@@ -1,0 +1,72 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and
+
+* runs the corresponding experiment (cached per pytest session, so the
+  failure-count tables can reuse the figure sweeps without re-running),
+* writes the rendered rows/series to ``benchmarks/results/<name>.txt``,
+* attaches summary statistics to ``benchmark.extra_info``.
+
+Replication counts are scaled down from the paper (100 graphs per elevation
+point) to keep wall-time in minutes; the counts are recorded both here and
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import (
+    run_random_experiment,
+    run_streamit_experiment,
+)
+from repro.experiments.random_experiments import RandomExperiment
+from repro.experiments.streamit_experiments import StreamItExperiment
+from repro.platform.cmp import CMPGrid
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark-scale replication settings (paper values in parentheses).
+RANDOM_REPLICATES_50 = 3  # paper: 100 graphs per elevation point
+RANDOM_REPLICATES_150 = 2  # paper: 100
+ELEVATIONS_50 = (1, 2, 4, 8, 12, 16)  # paper: 1..20
+ELEVATIONS_150 = (2, 8, 16, 24)  # paper: 1..30
+CCRS_RANDOM = (10.0, 1.0, 0.1)
+SEED = 2011  # publication year, for determinism
+
+_cache: dict[tuple, object] = {}
+
+
+def streamit_experiment(grid_size: int) -> StreamItExperiment:
+    """Figures 8/9 sweep (all 12 workflows x 4 CCR settings), cached."""
+    key = ("streamit", grid_size)
+    if key not in _cache:
+        _cache[key] = run_streamit_experiment(
+            CMPGrid(grid_size, grid_size), seed=SEED
+        )
+    return _cache[key]  # type: ignore[return-value]
+
+
+def random_experiment(n: int, grid_size: int, ccr: float) -> RandomExperiment:
+    """One Figures 10-13 panel, cached."""
+    key = ("random", n, grid_size, ccr)
+    if key not in _cache:
+        _cache[key] = run_random_experiment(
+            n=n,
+            grid=CMPGrid(grid_size, grid_size),
+            ccr=ccr,
+            elevations=ELEVATIONS_50 if n <= 50 else ELEVATIONS_150,
+            replicates=(
+                RANDOM_REPLICATES_50 if n <= 50 else RANDOM_REPLICATES_150
+            ),
+            seed=SEED,
+        )
+    return _cache[key]  # type: ignore[return-value]
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

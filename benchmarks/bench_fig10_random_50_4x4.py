@@ -1,0 +1,37 @@
+"""Figure 10: normalised inverse energy vs elevation, n=50, 4x4 CMP.
+
+Random SPGs binned by elevation, CCR in {10, 1, 0.1}.  Paper shapes: the
+1D heuristics dominate at low elevation and DPA1D collapses past elevation
+~4-6 (state-space explosion); DPA2D is the best at high elevation and
+fails on near-pipeline graphs; Random degrades sharply as communications
+get heavy (CCR = 0.1).
+"""
+
+import pytest
+
+from _common import CCRS_RANDOM, random_experiment, write_result
+
+
+@pytest.mark.parametrize("ccr", CCRS_RANDOM)
+def test_fig10(benchmark, ccr):
+    exp = benchmark.pedantic(
+        random_experiment, args=(50, 4, ccr), rounds=1, iterations=1
+    )
+    text = exp.render()
+    print("\n" + text)
+    write_result(f"fig10_random_50_4x4_ccr{ccr:g}", text)
+    series = exp.mean_inverse_energy()
+    benchmark.extra_info["ccr"] = ccr
+    benchmark.extra_info["series"] = {
+        str(e): {h: round(v, 3) for h, v in per.items()}
+        for e, per in series.items()
+    }
+    counter = exp.failure_table()
+    benchmark.extra_info["failures"] = dict(
+        zip(counter.heuristics, counter.row())
+    )
+    # Shape: DPA1D strong at elevation 1-2, weak at 12+.
+    low = series.get(1, series.get(2))
+    high = series.get(16, series.get(12))
+    if low and high:
+        assert low["DPA1D"] >= high["DPA1D"]

@@ -1,0 +1,20 @@
+"""Figure 11: normalised inverse energy vs elevation, n=50, 6x6 CMP."""
+
+import pytest
+
+from _common import CCRS_RANDOM, random_experiment, write_result
+
+
+@pytest.mark.parametrize("ccr", CCRS_RANDOM)
+def test_fig11(benchmark, ccr):
+    exp = benchmark.pedantic(
+        random_experiment, args=(50, 6, ccr), rounds=1, iterations=1
+    )
+    text = exp.render()
+    print("\n" + text)
+    write_result(f"fig11_random_50_6x6_ccr{ccr:g}", text)
+    counter = exp.failure_table()
+    benchmark.extra_info["ccr"] = ccr
+    benchmark.extra_info["failures"] = dict(
+        zip(counter.heuristics, counter.row())
+    )

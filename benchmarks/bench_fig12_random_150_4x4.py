@@ -1,0 +1,25 @@
+"""Figure 12: normalised inverse energy vs elevation, n=150, 4x4 CMP.
+
+At n=150, DPA1D is expected to fail on almost everything except the lowest
+elevations (the paper's Table-3 pattern), leaving DPA2D1D and DPA2D as the
+leading specialised heuristics.
+"""
+
+import pytest
+
+from _common import CCRS_RANDOM, random_experiment, write_result
+
+
+@pytest.mark.parametrize("ccr", CCRS_RANDOM)
+def test_fig12(benchmark, ccr):
+    exp = benchmark.pedantic(
+        random_experiment, args=(150, 4, ccr), rounds=1, iterations=1
+    )
+    text = exp.render()
+    print("\n" + text)
+    write_result(f"fig12_random_150_4x4_ccr{ccr:g}", text)
+    counter = exp.failure_table()
+    benchmark.extra_info["ccr"] = ccr
+    benchmark.extra_info["failures"] = dict(
+        zip(counter.heuristics, counter.row())
+    )

@@ -1,0 +1,20 @@
+"""Figure 13: normalised inverse energy vs elevation, n=150, 6x6 CMP."""
+
+import pytest
+
+from _common import CCRS_RANDOM, random_experiment, write_result
+
+
+@pytest.mark.parametrize("ccr", CCRS_RANDOM)
+def test_fig13(benchmark, ccr):
+    exp = benchmark.pedantic(
+        random_experiment, args=(150, 6, ccr), rounds=1, iterations=1
+    )
+    text = exp.render()
+    print("\n" + text)
+    write_result(f"fig13_random_150_6x6_ccr{ccr:g}", text)
+    counter = exp.failure_table()
+    benchmark.extra_info["ccr"] = ccr
+    benchmark.extra_info["failures"] = dict(
+        zip(counter.heuristics, counter.row())
+    )

@@ -1,0 +1,23 @@
+"""Figure 9: normalised energy per heuristic, StreamIt suite, 6x6 CMP.
+
+Same sweep as Figure 8 on the larger grid.  Paper observations to check:
+failures drop relative to the 4x4 grid (Table 2: Random and Greedy never
+fail on 6x6) and the DPA1D / DPA2D1D gap nearly disappears.
+"""
+
+from _common import streamit_experiment, write_result
+
+
+def test_fig9(benchmark):
+    exp = benchmark.pedantic(
+        streamit_experiment, args=(6,), rounds=1, iterations=1
+    )
+    text = exp.render()
+    print("\n" + text)
+    write_result("fig9_streamit_6x6", text)
+    counter = exp.failure_table()
+    benchmark.extra_info["instances"] = counter.total
+    benchmark.extra_info["failures"] = dict(
+        zip(counter.heuristics, counter.row())
+    )
+    assert counter.total == 48

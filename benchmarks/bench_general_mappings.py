@@ -1,0 +1,81 @@
+"""Extra experiment: DAG-partition versus *general* mappings (Section 7).
+
+The paper's future work asks to "investigate general mappings, and assess
+the difference with DAG-partition mappings".  This benchmark does exactly
+that with the local-search refiner: starting from the best heuristic
+mapping of each instance, hill-climb once under the DAG-partition rule and
+once without it, and compare the reachable energies.
+"""
+
+from _common import SEED, write_result
+
+from repro.core.evaluate import energy
+from repro.core.problem import ProblemInstance
+from repro.experiments import choose_period
+from repro.heuristics.refine import refine_mapping
+from repro.platform.cmp import CMPGrid
+from repro.spg.random_gen import random_spg_with_elevation
+from repro.spg.streamit import streamit_workflow
+from repro.util.fmt import format_table
+
+
+def _instances():
+    grid = CMPGrid(4, 4)
+    for idx in (7, 10):
+        yield f"streamit-{idx}", streamit_workflow(idx, seed=SEED), grid
+    for elev, seed in ((2, 1), (4, 2)):
+        yield (
+            f"random-e{elev}",
+            random_spg_with_elevation(25, elev, rng=seed, ccr=5.0),
+            grid,
+        )
+
+
+def _run():
+    rows = []
+    gains_dag, gains_gen = [], []
+    for label, app, grid in _instances():
+        choice = choose_period(app, grid, rng=0)
+        ok = {n: r for n, r in choice.results.items() if r.ok}
+        if not ok:
+            continue
+        best_name = min(ok, key=lambda n: ok[n].total_energy)
+        base = ok[best_name].mapping
+        prob = ProblemInstance(app, grid, choice.period)
+        e_base = energy(base, choice.period).total
+        m_dag = refine_mapping(prob, base, rng=0)
+        m_gen = refine_mapping(prob, base, rng=0, allow_general=True)
+        e_dag = energy(m_dag, choice.period).total
+        e_gen = energy(m_gen, choice.period).total
+        gains_dag.append(1 - e_dag / e_base)
+        gains_gen.append(1 - e_gen / e_base)
+        rows.append([
+            label, best_name, f"{e_base:.3f}", f"{e_dag:.3f}",
+            f"{e_gen:.3f}", f"{100 * (1 - e_gen / e_dag):.2f}%",
+        ])
+    return rows, gains_dag, gains_gen
+
+
+def test_general_mappings(benchmark):
+    rows, gains_dag, gains_gen = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["instance", "base heuristic", "E base [J]", "E refined (DAG) [J]",
+         "E refined (general) [J]", "general vs DAG"],
+        rows,
+        title="Section-7 future work: DAG-partition vs general mappings "
+              "after local search",
+    )
+    print("\n" + text)
+    write_result("general_mappings", text)
+    assert rows
+    # General refinement can only do at least as well as restricted.
+    for gd, gg in zip(gains_dag, gains_gen):
+        assert gg >= gd - 1e-12
+    benchmark.extra_info["mean_gain_dag"] = round(
+        sum(gains_dag) / len(gains_dag), 4
+    )
+    benchmark.extra_info["mean_gain_general"] = round(
+        sum(gains_gen) / len(gains_gen), 4
+    )

@@ -1,0 +1,30 @@
+"""Table 1: characteristics of the StreamIt workflows.
+
+Regenerates the (n, ymax, xmax, CCR) table for the 12 synthesised
+workflows and verifies it matches the published values exactly.  The timed
+kernel is the synthesis of the entire suite.
+"""
+
+from _common import write_result
+
+from repro.spg.streamit import STREAMIT_TABLE1, streamit_suite
+from repro.util.fmt import format_table
+
+
+def test_table1(benchmark):
+    suite = benchmark.pedantic(streamit_suite, rounds=3, iterations=1)
+    rows = []
+    for spec, g in zip(STREAMIT_TABLE1, suite):
+        assert (g.n, g.ymax, g.xmax) == (spec.n, spec.ymax, spec.xmax)
+        assert abs(g.ccr - spec.ccr) < 1e-6 * spec.ccr
+        rows.append([spec.index, spec.name, g.n, g.ymax, g.xmax,
+                     round(g.ccr)])
+    text = format_table(
+        ["Index", "Name", "n", "ymax", "xmax", "CCR"],
+        rows,
+        title="Table 1: Characteristics of the StreamIt workflows",
+    )
+    print("\n" + text)
+    write_result("table1_streamit", text)
+    benchmark.extra_info["workflows"] = len(rows)
+    benchmark.extra_info["all_match_paper"] = True

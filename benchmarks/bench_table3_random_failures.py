@@ -1,0 +1,43 @@
+"""Table 3: failures per heuristic and CCR (random SPGs, n=50, 4x4 CMP).
+
+Paper row (out of 2000 instances per CCR): Random 58/58/300,
+Greedy 56/56/287, DPA2D 156/156/348, DPA1D 1516/1520/1340,
+DPA2D1D 2/4/916.  At benchmark scale (see _common) absolute counts shrink
+with the instance count, but the ordering must hold: DPA1D fails by far
+the most, Random and Greedy the least, and the CCR=0.1 column degrades
+everyone (DPA2D1D most dramatically).
+"""
+
+from _common import CCRS_RANDOM, random_experiment, write_result
+
+from repro.experiments.paper_reference import table3_row
+from repro.heuristics.base import PAPER_ORDER
+from repro.util.fmt import format_table
+
+
+def test_table3(benchmark):
+    def build():
+        return {ccr: random_experiment(50, 4, ccr) for ccr in CCRS_RANDOM}
+
+    exps = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    totals = {}
+    for ccr, exp in exps.items():
+        counter = exp.failure_table()
+        totals[ccr] = counter.total
+        rows.append([f"{ccr:g} (ours, /{counter.total})", *counter.row()])
+        rows.append([f"{ccr:g} (paper, /2000)", *table3_row(ccr)])
+    text = format_table(
+        ["CCR", *PAPER_ORDER],
+        rows,
+        title="Table 3: failures per heuristic and CCR (n=50, 4x4)",
+    )
+    print("\n" + text)
+    write_result("table3_random_failures", text)
+    benchmark.extra_info["instances_per_ccr"] = totals
+
+    # Ordering checks at CCR=10: DPA1D fails most, Random/Greedy least.
+    counter10 = dict(zip(PAPER_ORDER, exps[10.0].failure_table().row()))
+    assert counter10["DPA1D"] >= max(
+        counter10["Random"], counter10["Greedy"]
+    )

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+
+``workflows``
+    List the synthesised StreamIt suite with its Table-1 characteristics.
+``map``
+    Map one workflow (or a random SPG) onto a CMP with one heuristic and
+    print the mapping, energy breakdown and link utilisation.
+``compare``
+    Run all five heuristics on one workflow at the Section-6.1.3 period
+    and print the normalised comparison.
+``experiment``
+    Re-run one of the paper's experiments (fig8/fig9/table2 subsets) and
+    print/export the tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.evaluate import energy, latency
+from repro.core.problem import ProblemInstance
+from repro.core.visualize import (
+    render_link_utilisation,
+    render_mapping,
+    summarize,
+)
+from repro.experiments import (
+    choose_period,
+    run_streamit_experiment,
+    streamit_csv,
+)
+from repro.heuristics.base import PAPER_ORDER, run
+from repro.platform.cmp import CMPGrid
+from repro.spg.random_gen import random_spg
+from repro.spg.streamit import STREAMIT_TABLE1, streamit_workflow
+from repro.util.fmt import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _grid(spec: str) -> CMPGrid:
+    try:
+        p, q = spec.lower().split("x")
+        return CMPGrid(int(p), int(q))
+    except Exception:
+        raise argparse.ArgumentTypeError(
+            f"grid must look like '4x4', got {spec!r}"
+        )
+
+
+def _load_app(args) -> tuple[str, object]:
+    if args.random is not None:
+        app = random_spg(args.random, rng=args.seed, ccr=args.ccr or 10.0)
+        return f"random-{args.random}", app
+    app = streamit_workflow(args.workflow, ccr=args.ccr, seed=args.seed)
+    return str(args.workflow), app
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-aware SPG-onto-CMP mapping (ICPP 2011 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workflows", help="list the StreamIt suite (Table 1)")
+
+    def add_instance_args(p):
+        p.add_argument(
+            "--workflow", "-w", default="FMRadio",
+            help="StreamIt name or index (default FMRadio)",
+        )
+        p.add_argument(
+            "--random", type=int, metavar="N", default=None,
+            help="use a random SPG with N stages instead of a workflow",
+        )
+        p.add_argument("--grid", type=_grid, default=CMPGrid(4, 4),
+                       help="CMP size, e.g. 4x4 (default)")
+        p.add_argument("--ccr", type=float, default=None,
+                       help="rescale the CCR (default: original)")
+        p.add_argument("--period", "-T", type=float, default=None,
+                       help="period bound in seconds (default: Section "
+                            "6.1.3 procedure)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_map = sub.add_parser("map", help="map one application")
+    add_instance_args(p_map)
+    p_map.add_argument(
+        "--heuristic", "-H", choices=PAPER_ORDER, default="Greedy"
+    )
+    p_map.add_argument("--refine", action="store_true",
+                       help="hill-climb the result")
+
+    p_cmp = sub.add_parser("compare", help="run all five heuristics")
+    add_instance_args(p_cmp)
+
+    p_exp = sub.add_parser("experiment", help="re-run a paper experiment")
+    p_exp.add_argument("which", choices=["fig8", "fig9"])
+    p_exp.add_argument("--workflows", type=int, nargs="*", default=None,
+                       help="Table-1 indices (default: all 12)")
+    p_exp.add_argument("--ccr", type=float, nargs="*", default=None,
+                       help="CCR settings (default: orig 10 1 0.1)")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--csv", metavar="PATH", default=None,
+                       help="also export the records as CSV")
+    return parser
+
+
+def cmd_workflows(_args, out) -> int:
+    rows = [
+        [s.index, s.name, s.n, s.ymax, s.xmax, round(s.ccr)]
+        for s in STREAMIT_TABLE1
+    ]
+    print(format_table(
+        ["Index", "Name", "n", "ymax", "xmax", "CCR"], rows,
+        title="StreamIt suite (paper Table 1)",
+    ), file=out)
+    return 0
+
+
+def cmd_map(args, out) -> int:
+    label, app = _load_app(args)
+    grid = args.grid
+    T = args.period
+    if T is None:
+        T = choose_period(app, grid, rng=args.seed).period
+        print(f"period (Section 6.1.3): T = {T:g} s", file=out)
+    prob = ProblemInstance(app, grid, T)
+    res = run(args.heuristic, prob, rng=args.seed)
+    if not res.ok:
+        print(f"{args.heuristic} FAILED on {label}: {res.failure}", file=out)
+        return 1
+    mapping = res.mapping
+    if args.refine:
+        from repro.heuristics.refine import refine_mapping
+
+        mapping = refine_mapping(prob, mapping, rng=args.seed)
+    b = energy(mapping, T)
+    print(summarize(mapping, T), file=out)
+    print(
+        f"energy: {b.total:.4f} J/period "
+        f"(comp {b.comp:.4f} + comm {b.comm:.4g}); "
+        f"latency {latency(mapping):.4g} s",
+        file=out,
+    )
+    print(render_mapping(mapping, T), file=out)
+    print(render_link_utilisation(mapping, T), file=out)
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    label, app = _load_app(args)
+    grid = args.grid
+    if args.period is not None:
+        prob = ProblemInstance(app, grid, args.period)
+        from repro.experiments import run_all
+
+        results = run_all(prob, rng=args.seed)
+        T = args.period
+    else:
+        choice = choose_period(app, grid, rng=args.seed)
+        results, T = choice.results, choice.period
+    print(f"{label} on {grid.p}x{grid.q}, T = {T:g} s", file=out)
+    best = min(
+        (r.total_energy for r in results.values()), default=float("inf")
+    )
+    rows = []
+    for name in PAPER_ORDER:
+        r = results[name]
+        if r.ok:
+            rows.append([
+                name, f"{r.energy.total:.4f}",
+                f"{r.energy.total / best:.3f}",
+                len(r.mapping.active_cores()),
+            ])
+        else:
+            rows.append([name, "FAIL", "-", "-"])
+    print(format_table(
+        ["heuristic", "energy [J]", "normalised", "cores"], rows,
+    ), file=out)
+    return 0
+
+
+def cmd_experiment(args, out) -> int:
+    grid = CMPGrid(4, 4) if args.which == "fig8" else CMPGrid(6, 6)
+    ccrs = tuple(args.ccr) if args.ccr else (None, 10.0, 1.0, 0.1)
+    workflows = tuple(args.workflows) if args.workflows else None
+    exp = run_streamit_experiment(
+        grid, ccrs=ccrs, workflows=workflows, seed=args.seed
+    )
+    print(exp.render(), file=out)
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(streamit_csv(exp))
+        print(f"CSV written to {args.csv}", file=out)
+    return 0
+
+
+def main(argv=None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "workflows":
+        return cmd_workflows(args, out)
+    if args.command == "map":
+        return cmd_map(args, out)
+    if args.command == "compare":
+        return cmd_compare(args, out)
+    if args.command == "experiment":
+        return cmd_experiment(args, out)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

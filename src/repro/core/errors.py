@@ -1,0 +1,32 @@
+"""Exception types shared across the library."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "MappingError", "HeuristicFailure", "BudgetExceeded"]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class MappingError(ReproError):
+    """A mapping violates a structural or performance constraint."""
+
+
+class HeuristicFailure(ReproError):
+    """A heuristic could not produce a valid mapping for this instance.
+
+    This is an *expected* outcome in the paper's evaluation (Tables 2 and 3
+    count failures per heuristic); experiment runners catch it and record a
+    failure rather than aborting.
+    """
+
+
+class BudgetExceeded(HeuristicFailure):
+    """A dynamic program exceeded its state budget.
+
+    DPA1D enumerates up to ``n^ymax`` admissible subgraphs; the paper reports
+    it failing on high-elevation workflows because "there are too many
+    possible splits to explore".  We make that concrete with an explicit
+    state budget.
+    """

@@ -1,0 +1,139 @@
+"""Period and energy evaluation of a mapping (Sections 3.4 and 3.5).
+
+Every heuristic's output is re-evaluated through this module by the
+experiment harness, so results cannot depend on heuristic-internal
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import MappingError
+from repro.core.mapping import Mapping
+
+__all__ = [
+    "EnergyBreakdown",
+    "cycle_times",
+    "max_cycle_time",
+    "is_period_feasible",
+    "energy",
+    "validate",
+]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one mapping over one period, split by source (Joules)."""
+
+    comp_leak: float
+    comp_dyn: float
+    comm_leak: float
+    comm_dyn: float
+
+    @property
+    def total(self) -> float:
+        return self.comp_leak + self.comp_dyn + self.comm_leak + self.comm_dyn
+
+    @property
+    def comp(self) -> float:
+        return self.comp_leak + self.comp_dyn
+
+    @property
+    def comm(self) -> float:
+        return self.comm_leak + self.comm_dyn
+
+
+def cycle_times(mapping: Mapping) -> dict[object, float]:
+    """Cycle-time of every used resource.
+
+    Keys are cores ``(u, v)`` (computation time ``w/s``) and directed links
+    ``((u,v), (u',v'))`` (transfer time ``bytes / BW``).
+    """
+    out: dict[object, float] = {}
+    for core, work in mapping.core_work().items():
+        out[core] = work / mapping.speeds[core]
+    bw = mapping.grid.model.bandwidth
+    for link, traffic in mapping.link_traffic().items():
+        out[link] = traffic / bw
+    return out
+
+
+def max_cycle_time(mapping: Mapping) -> float:
+    """The maximum cycle-time over all resources (the achievable period)."""
+    times = cycle_times(mapping)
+    return max(times.values()) if times else 0.0
+
+
+def is_period_feasible(
+    mapping: Mapping, period: float, rtol: float = 1e-9
+) -> bool:
+    """True iff no resource's cycle-time exceeds ``period``.
+
+    A tiny relative tolerance absorbs float round-off in DP bookkeeping.
+    """
+    return max_cycle_time(mapping) <= period * (1.0 + rtol)
+
+
+def energy(mapping: Mapping, period: float) -> EnergyBreakdown:
+    """Energy consumed per period by ``mapping`` (Section 3.5).
+
+    ``E(comp) = |A| P_leak T + sum_cores (w/s) P_dyn(s)`` and
+    ``E(comm) = P_leak^comm T + sum_links bits * E_bit``.
+    """
+    model = mapping.grid.model
+    active = mapping.active_cores()
+    comp_leak = len(active) * model.comp_leak * period
+    comp_dyn = 0.0
+    for core, work in mapping.core_work().items():
+        s = mapping.speeds[core]
+        comp_dyn += (work / s) * model.power_at(s)
+    comm_leak = model.comm_leak * period
+    comm_dyn = sum(
+        model.comm_energy(traffic)
+        for traffic in mapping.link_traffic().values()
+    )
+    return EnergyBreakdown(comp_leak, comp_dyn, comm_leak, comm_dyn)
+
+
+def validate(
+    mapping: Mapping, period: float, require_dag_partition: bool = True
+) -> EnergyBreakdown:
+    """Full validation: structure plus period; returns the energy breakdown.
+
+    Raises :class:`MappingError` if the mapping is structurally invalid or
+    misses the period.  ``require_dag_partition=False`` admits *general
+    mappings* (Section-7 future work), which only need a valid allocation,
+    speeds and routes.
+    """
+    mapping.check_structure(require_dag_partition)
+    if not is_period_feasible(mapping, period):
+        raise MappingError(
+            f"period exceeded: max cycle-time {max_cycle_time(mapping):.6g} "
+            f"> T={period:.6g}"
+        )
+    return energy(mapping, period)
+
+
+def latency(mapping: Mapping) -> float:
+    """End-to-end latency of one data set through the mapping (seconds).
+
+    The critical-path time: each stage contributes ``w_i / s`` on its core
+    and each remote edge contributes one link transfer per hop
+    (``hops * delta / BW``).  Latency is the third objective of the
+    companion work on linear chains ([5] in the paper); it is exposed here
+    as an additional metric for mappings of SPGs.
+    """
+    spg = mapping.spg
+    bw = mapping.grid.model.bandwidth
+    finish: dict[int, float] = {}
+    for i in spg.topological_order():
+        start = 0.0
+        for p in spg.preds(i):
+            t = finish[p]
+            if mapping.alloc[p] != mapping.alloc[i]:
+                hops = len(mapping.paths[(p, i)]) - 1
+                t += hops * spg.edges[(p, i)] / bw
+            start = max(start, t)
+        finish[i] = start + spg.weights[i] / mapping.speeds[mapping.alloc[i]]
+    return finish[spg.sink]

@@ -1,0 +1,196 @@
+"""The mapping object: stage allocation, core speeds, communication paths.
+
+A mapping (Section 3.3) is defined by an allocation function from stages to
+cores, a speed per active core, and, for every application edge whose
+endpoints land on distinct cores, the path of links used to route the
+communication.  Paths default to XY routing but heuristics may override
+them (the 1D heuristics route along the snake).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import MappingError
+from repro.core.partition import is_acyclic_quotient
+from repro.platform.cmp import CMPGrid, Core
+from repro.platform.routing import xy_path
+from repro.spg.graph import SPG
+from repro.util.fmt import format_grid
+
+__all__ = ["Mapping"]
+
+Edge = tuple[int, int]
+
+
+@dataclass
+class Mapping:
+    """A complete DAG-partition mapping of an SPG onto a CMP.
+
+    Attributes
+    ----------
+    spg, grid:
+        The application and platform.
+    alloc:
+        ``alloc[i]`` is the core executing stage ``i`` (all stages mapped).
+    speeds:
+        ``speeds[core]`` for every active core, in Hz (a member of the
+        platform's speed set).
+    paths:
+        ``paths[(i, j)]`` is the core path (inclusive) routing edge
+        ``(i, j)``; edges whose endpoints share a core need no entry.
+        Missing paths for remote edges are filled with XY routes.
+    """
+
+    spg: SPG
+    grid: CMPGrid
+    alloc: dict[int, Core]
+    speeds: dict[Core, float]
+    paths: dict[Edge, list[Core]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for (i, j) in self.remote_edges():
+            if (i, j) not in self.paths:
+                self.paths[(i, j)] = xy_path(self.alloc[i], self.alloc[j])
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def remote_edges(self) -> list[Edge]:
+        """Application edges whose endpoints are on distinct cores.
+
+        Edges with an unmapped endpoint are skipped here so that a partial
+        allocation fails in :meth:`check_structure` with a clear error
+        rather than during construction.
+        """
+        alloc = self.alloc
+        return [
+            (i, j)
+            for (i, j) in self.spg.edges
+            if i in alloc and j in alloc and alloc[i] != alloc[j]
+        ]
+
+    def clusters(self) -> dict[Core, list[int]]:
+        """Stages grouped by core."""
+        out: dict[Core, list[int]] = {}
+        for i in range(self.spg.n):
+            out.setdefault(self.alloc[i], []).append(i)
+        return out
+
+    def active_cores(self) -> set[Core]:
+        """Cores executing at least one stage."""
+        return set(self.alloc.values())
+
+    def core_work(self) -> dict[Core, float]:
+        """Total computation weight per active core."""
+        out: dict[Core, float] = {}
+        for i, c in self.alloc.items():
+            out[c] = out.get(c, 0.0) + self.spg.weights[i]
+        return out
+
+    def link_traffic(self) -> dict[tuple[Core, Core], float]:
+        """Bytes per period on every used directed link."""
+        out: dict[tuple[Core, Core], float] = {}
+        for (i, j) in self.remote_edges():
+            d = self.spg.edges[(i, j)]
+            path = self.paths[(i, j)]
+            for a, b in zip(path, path[1:]):
+                out[(a, b)] = out.get((a, b), 0.0) + d
+        return out
+
+    def hops(self) -> float:
+        """Total byte-hops (communication volume weighted by path length)."""
+        return sum(self.link_traffic().values())
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check_structure(self, require_dag_partition: bool = True) -> None:
+        """Raise :class:`MappingError` on any structural violation.
+
+        Checks: total allocation onto in-bounds cores, speeds belong to the
+        platform's speed set and cover all active cores, paths connect the
+        right cores over valid links, and — unless ``require_dag_partition``
+        is false (*general mappings*, the paper's Section-7 future work) —
+        that the clustering is a DAG-partition (acyclic quotient).
+        """
+        spg, grid = self.spg, self.grid
+        if set(self.alloc) != set(range(spg.n)):
+            raise MappingError("allocation must cover every stage exactly")
+        for i, c in self.alloc.items():
+            if not grid.in_bounds(c):
+                raise MappingError(f"stage {i} mapped outside the grid: {c}")
+        speed_set = set(grid.model.speeds)
+        for c in self.active_cores():
+            s = self.speeds.get(c)
+            if s is None:
+                raise MappingError(f"active core {c} has no speed")
+            if s not in speed_set:
+                raise MappingError(f"core {c} speed {s} not in the DVFS set")
+        for (i, j) in self.remote_edges():
+            path = self.paths.get((i, j))
+            if path is None:
+                raise MappingError(f"edge ({i}, {j}) has no path")
+            if path[0] != self.alloc[i] or path[-1] != self.alloc[j]:
+                raise MappingError(
+                    f"path for edge ({i}, {j}) does not connect its cores"
+                )
+            try:
+                grid.validate_path(path)
+            except ValueError as exc:
+                raise MappingError(
+                    f"path for edge ({i}, {j}) is invalid: {exc}"
+                ) from exc
+        if require_dag_partition and not is_acyclic_quotient(spg, self.alloc):
+            raise MappingError("clustering is not a DAG-partition")
+
+    def is_valid_structure(self, require_dag_partition: bool = True) -> bool:
+        """Boolean form of :meth:`check_structure`."""
+        try:
+            self.check_structure(require_dag_partition)
+        except MappingError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_clusters(
+        spg: SPG,
+        grid: CMPGrid,
+        clusters: dict[Core, list[int]],
+        period: float,
+        paths: dict[Edge, list[Core]] | None = None,
+    ) -> "Mapping":
+        """Build a mapping from a core -> stages dictionary.
+
+        Each core is assigned the energy-optimal speed meeting the period
+        for its workload (see :meth:`PowerModel.best_feasible`); raises
+        :class:`MappingError` when a cluster cannot meet the period at top
+        speed.
+        """
+        alloc: dict[int, Core] = {}
+        for c, stages in clusters.items():
+            for i in stages:
+                if i in alloc:
+                    raise MappingError(f"stage {i} appears in two clusters")
+                alloc[i] = c
+        speeds: dict[Core, float] = {}
+        model = grid.model
+        for c, stages in clusters.items():
+            work = sum(spg.weights[i] for i in stages)
+            s = model.best_feasible(work, period)
+            if s is None:
+                raise MappingError(
+                    f"cluster on {c} (work {work:.3g}) cannot meet T={period}"
+                )
+            speeds[c] = s
+        return Mapping(spg, grid, alloc, speeds, dict(paths or {}))
+
+    def ascii(self) -> str:
+        """Render the allocation on the grid (stage counts per core)."""
+        cells = {
+            c: f"{len(stages)}" for c, stages in self.clusters().items()
+        }
+        return format_grid(self.grid.p, self.grid.q, cells)

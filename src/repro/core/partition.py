@@ -1,0 +1,211 @@
+"""DAG-partition machinery (Section 3.3) and admissible subgraphs (Section 4.1).
+
+A *DAG-partition mapping* partitions the SPG into clusters such that the
+quotient graph (one node per cluster, edges induced by stage dependencies)
+is acyclic, then maps clusters one-to-one onto cores.  Quotient acyclicity
+is equivalent to the paper's convexity rule ("if S_i and S_j share a cluster,
+any S_k with a dependency path S_i -> S_k -> S_j is in the same cluster")
+*plus* the absence of cluster cycles.
+
+An *admissible subgraph* (Theorem 1) is obtained from the SPG by repeatedly
+deleting nodes without successors; equivalently it is a predecessor-closed
+node set — an **order ideal** of the precedence poset.  The DP heuristics
+enumerate ideals as bitmasks, with an explicit budget: bounded-elevation
+SPGs have at most ``n^ymax`` ideals, and exceeding the budget reproduces the
+paper's DPA1D failures on high-elevation graphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.core.errors import BudgetExceeded
+from repro.spg.analysis import ancestor_masks, descendant_masks
+from repro.spg.graph import SPG
+from repro.util.bitset import bit, iter_bits, mask_of
+
+__all__ = [
+    "quotient_edges",
+    "is_acyclic_quotient",
+    "is_dag_partition",
+    "IdealLattice",
+]
+
+
+def quotient_edges(
+    spg: SPG, cluster_of: Mapping[int, object]
+) -> set[tuple[object, object]]:
+    """Edges of the quotient graph induced by ``cluster_of`` (stage -> key)."""
+    out: set[tuple[object, object]] = set()
+    for (i, j) in spg.edges:
+        ci, cj = cluster_of[i], cluster_of[j]
+        if ci != cj:
+            out.add((ci, cj))
+    return out
+
+
+def is_acyclic_quotient(
+    spg: SPG, cluster_of: Mapping[int, object]
+) -> bool:
+    """True iff the quotient graph of the clustering is acyclic."""
+    edges = quotient_edges(spg, cluster_of)
+    succ: dict[object, list[object]] = {}
+    indeg: dict[object, int] = {}
+    nodes = set(cluster_of.values())
+    for c in nodes:
+        succ[c] = []
+        indeg[c] = 0
+    for a, b in edges:
+        succ[a].append(b)
+        indeg[b] += 1
+    stack = [c for c in nodes if indeg[c] == 0]
+    seen = 0
+    while stack:
+        c = stack.pop()
+        seen += 1
+        for d in succ[c]:
+            indeg[d] -= 1
+            if indeg[d] == 0:
+                stack.append(d)
+    return seen == len(nodes)
+
+
+def is_dag_partition(spg: SPG, cluster_of: Mapping[int, object]) -> bool:
+    """True iff ``cluster_of`` (total map stage -> cluster key) is a DAG-partition."""
+    if set(cluster_of) != set(range(spg.n)):
+        return False
+    return is_acyclic_quotient(spg, cluster_of)
+
+
+class IdealLattice:
+    """Enumeration of the order ideals (admissible subgraphs) of an SPG.
+
+    Parameters
+    ----------
+    spg:
+        The application graph.
+    budget:
+        Maximum number of ideals to enumerate before raising
+        :class:`BudgetExceeded`.  The paper bounds the count by
+        ``n^ymax``; real workloads with ymax around 12-17 blow any budget,
+        which is exactly when DPA1D is reported to fail.
+    """
+
+    def __init__(self, spg: SPG, budget: int = 200_000) -> None:
+        self.spg = spg
+        self.budget = budget
+        n = spg.n
+        self.full = (1 << n) - 1
+        self._pred_mask = [mask_of(spg.preds(i)) for i in range(n)]
+        self._succ_mask = [mask_of(spg.succs(i)) for i in range(n)]
+        self._weights = list(spg.weights)
+        self.desc = descendant_masks(spg)
+        self.anc = ancestor_masks(spg)
+        self._ideals: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    def weight(self, mask: int) -> float:
+        """Total computation weight of the stages in ``mask``."""
+        w = self._weights
+        return sum(w[i] for i in iter_bits(mask))
+
+    def is_ideal(self, mask: int) -> bool:
+        """True iff ``mask`` is predecessor-closed."""
+        for i in iter_bits(mask):
+            if self._pred_mask[i] & ~mask:
+                return False
+        return True
+
+    def addable(self, ideal: int) -> Iterator[int]:
+        """Stages addable to ``ideal`` while keeping it an ideal."""
+        pm = self._pred_mask
+        for i in range(self.spg.n):
+            if not (ideal >> i) & 1 and pm[i] & ~ideal == 0:
+                yield i
+
+    def ideals(self) -> list[int]:
+        """All order ideals, sorted by population count (empty set first).
+
+        Raises :class:`BudgetExceeded` if there are more than ``budget``.
+        The result is cached.
+        """
+        if self._ideals is not None:
+            return self._ideals
+        seen: set[int] = {0}
+        frontier = [0]
+        while frontier:
+            nxt: list[int] = []
+            for ideal in frontier:
+                for i in self.addable(ideal):
+                    cand = ideal | bit(i)
+                    if cand not in seen:
+                        seen.add(cand)
+                        if len(seen) > self.budget:
+                            raise BudgetExceeded(
+                                f"more than {self.budget} admissible subgraphs "
+                                f"(n={self.spg.n}, ymax={self.spg.ymax})"
+                            )
+                        nxt.append(cand)
+            frontier = nxt
+        self._ideals = sorted(seen, key=lambda m: (m.bit_count(), m))
+        return self._ideals
+
+    # ------------------------------------------------------------------
+    def suffix_clusters_weighted(
+        self, ideal: int, max_weight: float, max_clusters: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Non-empty up-sets ``H`` of ``ideal`` with weight <= ``max_weight``.
+
+        Returns ``(mask, weight)`` pairs.  ``H = ideal \\ I'`` for a smaller
+        ideal ``I'``; these are exactly the candidate "last clusters" when
+        peeling the SPG from the sink side in the Theorem-1 DP.
+
+        The DFS tracks the removable frontier *incrementally*: a stage
+        becomes removable exactly when its last missing successor joins the
+        cluster, so extending a cluster costs O(in-degree) rather than a
+        scan of the whole ideal.  Exclusion by list position guarantees each
+        up-set is produced exactly once.  Clusters heavier than
+        ``max_weight`` are pruned (they cannot meet the period at any
+        speed), which keeps the enumeration tractable for tight periods.
+        """
+        sm = self._succ_mask
+        pm = self._pred_mask
+        w = self._weights
+        out: list[tuple[int, float]] = []
+
+        init = [
+            i for i in iter_bits(ideal) if sm[i] & ideal == 0
+        ]  # successor-free stages of the ideal
+
+        def rec(h: int, h_weight: float, cands: list[int]) -> None:
+            for idx, i in enumerate(cands):
+                wi = w[i]
+                nw = h_weight + wi
+                if nw > max_weight:
+                    continue
+                nh = h | (1 << i)
+                out.append((nh, nw))
+                if max_clusters is not None and len(out) > max_clusters:
+                    raise BudgetExceeded(
+                        f"more than {max_clusters} suffix clusters for one ideal"
+                    )
+                fresh = [
+                    p
+                    for p in iter_bits(pm[i] & ideal & ~nh)
+                    if sm[p] & ideal & ~nh == 0
+                ]
+                rec(nh, nw, cands[idx + 1 :] + fresh)
+
+        rec(0, 0.0, init)
+        return out
+
+    def suffix_clusters(
+        self, ideal: int, max_weight: float, max_clusters: int | None = None
+    ) -> list[int]:
+        """Masks-only view of :meth:`suffix_clusters_weighted`."""
+        return [
+            mask
+            for mask, _w in self.suffix_clusters_weighted(
+                ideal, max_weight, max_clusters
+            )
+        ]

@@ -1,0 +1,43 @@
+"""Problem instance bundling: an SPG, a CMP and a period bound.
+
+``MinEnergy(T)`` (Definition 1): find a DAG-partition mapping whose maximal
+cycle-time does not exceed ``T`` and whose energy is minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluate import EnergyBreakdown, validate
+from repro.core.mapping import Mapping
+from repro.platform.cmp import CMPGrid
+from repro.spg.graph import SPG
+
+__all__ = ["ProblemInstance"]
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """One MinEnergy(T) instance."""
+
+    spg: SPG
+    grid: CMPGrid
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def evaluate(self, mapping: Mapping) -> EnergyBreakdown:
+        """Validate ``mapping`` against this instance and return its energy."""
+        return validate(mapping, self.period)
+
+    def scaled(self, period: float) -> "ProblemInstance":
+        """The same instance with a different period bound."""
+        return ProblemInstance(self.spg, self.grid, period)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProblemInstance(n={self.spg.n}, ymax={self.spg.ymax}, "
+            f"grid={self.grid.p}x{self.grid.q}, T={self.period:g})"
+        )

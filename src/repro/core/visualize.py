@@ -1,0 +1,90 @@
+"""Plain-text visualisation of SPGs and mappings.
+
+Rendering helpers used by the examples and handy when debugging heuristics:
+
+* :func:`render_label_grid` — the SPG laid out on its ``xmax x ymax``
+  label grid (the structure DPA2D maps from);
+* :func:`render_mapping` — the CMP grid with per-core stage counts,
+  speeds and loads;
+* :func:`render_link_utilisation` — per-link traffic as a fraction of the
+  bandwidth-period product (the resource that fails first on
+  communication-heavy instances).
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluate import cycle_times
+from repro.core.mapping import Mapping
+from repro.spg.graph import SPG
+from repro.util.fmt import format_grid, format_table
+
+__all__ = [
+    "render_label_grid",
+    "render_mapping",
+    "render_link_utilisation",
+]
+
+
+def render_label_grid(spg: SPG) -> str:
+    """The SPG on its label grid: rows are ``y`` values, columns ``x``."""
+    cells = {}
+    for i in range(spg.n):
+        x, y = spg.labels[i]
+        cells[(y - 1, x - 1)] = str(i)
+    return format_grid(spg.ymax, spg.xmax, cells)
+
+
+def render_mapping(mapping: Mapping, period: float) -> str:
+    """Three aligned grids: stage counts, speeds (GHz) and load (% of T)."""
+    grid = mapping.grid
+    clusters = mapping.clusters()
+    work = mapping.core_work()
+    counts = {c: str(len(s)) for c, s in clusters.items()}
+    speeds = {
+        c: f"{mapping.speeds[c] / 1e9:.2f}" for c in clusters
+    }
+    loads = {
+        c: f"{100 * work[c] / (mapping.speeds[c] * period):.0f}%"
+        for c in clusters
+    }
+    return (
+        "stages per core:\n"
+        + format_grid(grid.p, grid.q, counts)
+        + "\n\nspeeds (GHz):\n"
+        + format_grid(grid.p, grid.q, speeds)
+        + "\n\ncompute load (% of period):\n"
+        + format_grid(grid.p, grid.q, loads)
+    )
+
+
+def render_link_utilisation(mapping: Mapping, period: float) -> str:
+    """Table of used links sorted by utilisation (traffic / BW*T)."""
+    cap = mapping.grid.model.link_capacity(period)
+    rows = []
+    for (a, b), traffic in sorted(
+        mapping.link_traffic().items(), key=lambda kv: -kv[1]
+    ):
+        rows.append([
+            f"{a}->{b}",
+            f"{traffic:.3g}",
+            f"{100 * traffic / cap:.1f}%",
+        ])
+    if not rows:
+        return "no inter-core communication"
+    return format_table(
+        ["link", "bytes/period", "utilisation"],
+        rows,
+        title="Link utilisation",
+    )
+
+
+def summarize(mapping: Mapping, period: float) -> str:
+    """One-paragraph mapping summary (cores, speeds, binding resource)."""
+    times = cycle_times(mapping)
+    binding = max(times, key=lambda k: times[k])
+    return (
+        f"{len(mapping.active_cores())} active cores, "
+        f"{len(mapping.remote_edges())} remote edges, "
+        f"max cycle-time {times[binding]:.4g}s on {binding} "
+        f"(T = {period:g}s)"
+    )

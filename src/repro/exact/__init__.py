@@ -1,0 +1,15 @@
+"""Exact solvers for tiny instances: brute force and the Section-4.4 ILP."""
+
+from repro.exact.brute_force import brute_force_optimal, enumerate_dag_partitions
+from repro.exact.ilp_model import IlpModel, build_ilp, ilp_optimal
+from repro.exact.bnb import BnBResult, solve_binary_program
+
+__all__ = [
+    "brute_force_optimal",
+    "enumerate_dag_partitions",
+    "IlpModel",
+    "build_ilp",
+    "ilp_optimal",
+    "BnBResult",
+    "solve_binary_program",
+]

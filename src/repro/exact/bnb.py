@@ -1,0 +1,103 @@
+"""A small 0-1 branch-and-bound over scipy's LP solver.
+
+Substitution for ILOG CPLEX (unavailable offline): minimises ``c @ x`` over
+binary ``x`` subject to ``A_ub @ x <= b_ub`` and ``A_eq @ x == b_eq``, using
+HiGHS LP relaxations and depth-first branching on the most fractional
+variable.  Intended for the tiny instances the paper itself was limited to
+(it reports CPLEX could not get past 2x2 CMPs either).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = ["BnBResult", "solve_binary_program"]
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class BnBResult:
+    """Outcome of a branch-and-bound run."""
+
+    status: str  # "optimal", "infeasible" or "node-limit"
+    x: np.ndarray | None
+    objective: float
+    nodes: int
+
+
+def _solve_relaxation(c, A_ub, b_ub, A_eq, b_eq, lo, hi):
+    res = linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=np.column_stack([lo, hi]),
+        method="highs",
+    )
+    if not res.success:
+        return None
+    return res
+
+
+def solve_binary_program(
+    c: np.ndarray,
+    A_ub: np.ndarray | None,
+    b_ub: np.ndarray | None,
+    A_eq: np.ndarray | None,
+    b_eq: np.ndarray | None,
+    max_nodes: int = 20_000,
+) -> BnBResult:
+    """Depth-first 0-1 branch & bound with best-incumbent pruning."""
+    n = len(c)
+    c = np.asarray(c, dtype=float)
+    best_x: np.ndarray | None = None
+    best_obj = float("inf")
+    nodes = 0
+    # Stack of (lo, hi) variable-bound vectors.
+    stack: list[tuple[np.ndarray, np.ndarray]] = [
+        (np.zeros(n), np.ones(n))
+    ]
+    hit_limit = False
+    while stack:
+        lo, hi = stack.pop()
+        nodes += 1
+        if nodes > max_nodes:
+            hit_limit = True
+            break
+        res = _solve_relaxation(c, A_ub, b_ub, A_eq, b_eq, lo, hi)
+        if res is None:
+            continue
+        if res.fun >= best_obj - 1e-12:
+            continue  # bound: cannot improve the incumbent
+        x = res.x
+        frac = np.abs(x - np.round(x))
+        j = int(np.argmax(frac))
+        if frac[j] <= _INT_TOL:
+            # Integral solution: new incumbent.
+            best_x = np.round(x)
+            best_obj = float(c @ best_x)
+            continue
+        # Branch on the most fractional variable; explore the side closer
+        # to the LP value first (pushed last -> popped first).
+        lo1, hi1 = lo.copy(), hi.copy()
+        lo2, hi2 = lo.copy(), hi.copy()
+        hi1[j] = 0.0  # x_j = 0
+        lo2[j] = 1.0  # x_j = 1
+        if x[j] >= 0.5:
+            stack.append((lo1, hi1))
+            stack.append((lo2, hi2))
+        else:
+            stack.append((lo2, hi2))
+            stack.append((lo1, hi1))
+    if best_x is None:
+        return BnBResult(
+            "node-limit" if hit_limit else "infeasible", None, float("inf"), nodes
+        )
+    return BnBResult(
+        "node-limit" if hit_limit else "optimal", best_x, best_obj, nodes
+    )

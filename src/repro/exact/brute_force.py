@@ -1,0 +1,97 @@
+"""Exhaustive optimal solver for tiny MinEnergy(T) instances.
+
+Enumerates every DAG-partition of the SPG (via the order-ideal peeling of
+Section 4.1, which generates exactly the acyclic partitions *ordered* by a
+topological order of their quotient), every injective placement of the
+clusters onto cores, XY routing, and the energy-optimal per-core speeds.
+
+Exponential, of course — use only for ``n`` up to ~8 and grids up to 3x3.
+The test suite uses it as ground truth for the heuristics and the ILP.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.core.errors import HeuristicFailure
+from repro.core.evaluate import energy, is_period_feasible
+from repro.core.mapping import Mapping
+from repro.core.partition import IdealLattice
+from repro.core.problem import ProblemInstance
+from repro.util.bitset import bits_of
+
+__all__ = ["enumerate_dag_partitions", "brute_force_optimal"]
+
+
+def enumerate_dag_partitions(
+    problem: ProblemInstance, max_clusters: int | None = None
+) -> list[list[list[int]]]:
+    """All DAG-partitions of the SPG, as ordered cluster lists.
+
+    Each partition is a list of clusters in a quotient-topological order
+    (earlier clusters never depend on later ones).  A partition whose
+    quotient admits several topological orders is produced once per
+    *ordered* peeling, so callers treating the result as unordered should
+    de-duplicate; the optimal-search below does not need to (it evaluates
+    placements over all permutations anyway).
+    """
+    spg = problem.spg
+    cap = problem.period * problem.grid.model.s_max
+    lat = IdealLattice(spg, budget=1 << 20)
+    limit = max_clusters if max_clusters is not None else problem.grid.n_cores
+
+    seen: set[tuple[int, ...]] = set()
+    out: list[list[list[int]]] = []
+
+    def rec(remaining: int, chosen: tuple[int, ...]) -> None:
+        if remaining == 0:
+            key = tuple(sorted(chosen))
+            if key not in seen:
+                seen.add(key)
+                out.append([bits_of(c) for c in reversed(chosen)])
+            return
+        if len(chosen) == limit:
+            return
+        for h in lat.suffix_clusters(remaining, cap):
+            rec(remaining & ~h, chosen + (h,))
+
+    rec(lat.full, ())
+    return out
+
+
+def brute_force_optimal(
+    problem: ProblemInstance,
+) -> tuple[Mapping, float]:
+    """The provably optimal DAG-partition mapping under XY routing.
+
+    Clusters are placed on cores over all injective placements; each core
+    gets the slowest feasible speed (optimal for a fixed assignment because
+    energy per cycle increases with speed).  Raises
+    :class:`HeuristicFailure` when no feasible mapping exists.
+
+    Note the paper's model leaves the *routing* free; we fix XY routing,
+    which is what every heuristic here uses.  On uni-line platforms XY is
+    the only route, so the result is exactly optimal there.
+    """
+    spg, grid, T = problem.spg, problem.grid, problem.period
+    cores = grid.cores()
+    best: Mapping | None = None
+    best_e = float("inf")
+    for clusters in enumerate_dag_partitions(problem):
+        k = len(clusters)
+        for placement in permutations(cores, k):
+            cluster_map = {placement[t]: clusters[t] for t in range(k)}
+            try:
+                mapping = Mapping.from_clusters(spg, grid, cluster_map, T)
+            except Exception:
+                continue
+            if not is_period_feasible(mapping, T):
+                continue
+            if not mapping.is_valid_structure():
+                continue
+            e = energy(mapping, T).total
+            if e < best_e:
+                best, best_e = mapping, e
+    if best is None:
+        raise HeuristicFailure("brute force: no feasible mapping")
+    return best, best_e

@@ -1,0 +1,45 @@
+"""Experiment harness reproducing Section 6 (figures 8-13, tables 2-3)."""
+
+from repro.experiments.period import PeriodChoice, choose_period, run_all
+from repro.experiments.runner import (
+    InstanceRecord,
+    FailureCounter,
+    normalized_energy,
+    normalized_inverse_energy,
+)
+from repro.experiments.streamit_experiments import (
+    StreamItExperiment,
+    run_streamit_experiment,
+    CCR_SETTINGS,
+)
+from repro.experiments.random_experiments import (
+    RandomExperiment,
+    run_random_experiment,
+    DEFAULT_ELEVATIONS,
+)
+from repro.experiments.report import (
+    random_csv,
+    random_markdown,
+    streamit_csv,
+    streamit_markdown,
+)
+
+__all__ = [
+    "PeriodChoice",
+    "choose_period",
+    "run_all",
+    "InstanceRecord",
+    "FailureCounter",
+    "normalized_energy",
+    "normalized_inverse_energy",
+    "StreamItExperiment",
+    "run_streamit_experiment",
+    "CCR_SETTINGS",
+    "RandomExperiment",
+    "run_random_experiment",
+    "DEFAULT_ELEVATIONS",
+    "random_csv",
+    "random_markdown",
+    "streamit_csv",
+    "streamit_markdown",
+]

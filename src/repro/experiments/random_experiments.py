@@ -1,0 +1,117 @@
+"""Random-SPG experiments: Figures 10-13 and Table 3 of the paper.
+
+For a given application size ``n`` and square grid, random SPGs are binned
+by elevation; for each instance the period is chosen by the divide-by-10
+procedure and all heuristics run.  The plots show, per elevation bin, the
+average of ``E_min / E`` (inverse energy normalised to the best heuristic,
+failures counting 0); Table 3 counts failures per heuristic and CCR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.period import choose_period
+from repro.experiments.runner import (
+    FailureCounter,
+    InstanceRecord,
+    normalized_inverse_energy,
+)
+from repro.heuristics.base import PAPER_ORDER
+from repro.platform.cmp import CMPGrid
+from repro.spg.random_gen import random_spg_with_elevation
+from repro.util.fmt import format_table
+from repro.util.rng import as_rng
+
+__all__ = ["RandomExperiment", "run_random_experiment", "DEFAULT_ELEVATIONS"]
+
+#: Elevation bins: the paper sweeps 1..~20 (50 nodes) / 1..~30 (150 nodes).
+DEFAULT_ELEVATIONS: tuple[int, ...] = (1, 2, 4, 6, 8, 12, 16, 20)
+
+
+@dataclass
+class RandomExperiment:
+    """Results of one (n, grid, CCR) sweep over elevation bins."""
+
+    n: int
+    grid: CMPGrid
+    ccr: float
+    records: dict[int, list[InstanceRecord]]  # elevation -> replicates
+    heuristics: tuple[str, ...]
+
+    def mean_inverse_energy(self) -> dict[int, dict[str, float]]:
+        """Per elevation bin, the mean normalised inverse energy (Figs 10-13)."""
+        out: dict[int, dict[str, float]] = {}
+        for elev, recs in sorted(self.records.items()):
+            sums = {h: 0.0 for h in self.heuristics}
+            for rec in recs:
+                inv = normalized_inverse_energy(rec)
+                for h in self.heuristics:
+                    sums[h] += inv.get(h, 0.0)
+            out[elev] = {h: sums[h] / len(recs) for h in self.heuristics}
+        return out
+
+    def failure_table(self) -> FailureCounter:
+        """Failure counts over every instance of the sweep (Table 3 row)."""
+        counter = FailureCounter(self.heuristics)
+        for recs in self.records.values():
+            for rec in recs:
+                counter.add(rec)
+        return counter
+
+    def render(self) -> str:
+        series = self.mean_inverse_energy()
+        rows = [
+            [elev, *(round(series[elev][h], 3) for h in self.heuristics)]
+            for elev in sorted(series)
+        ]
+        table = format_table(
+            ["elevation", *self.heuristics],
+            rows,
+            title=(
+                f"Mean normalised 1/E (n={self.n}, "
+                f"{self.grid.p}x{self.grid.q} grid, CCR={self.ccr:g})"
+            ),
+        )
+        counter = self.failure_table()
+        fails = format_table(
+            [*self.heuristics],
+            [counter.row()],
+            title=f"Failures out of {counter.total} instances",
+        )
+        return table + "\n\n" + fails
+
+
+def run_random_experiment(
+    n: int,
+    grid: CMPGrid,
+    ccr: float,
+    elevations=DEFAULT_ELEVATIONS,
+    replicates: int = 10,
+    seed: int = 0,
+    heuristics=PAPER_ORDER,
+    options: dict | None = None,
+) -> RandomExperiment:
+    """Run one Figure-10..13 panel.
+
+    The paper averages 100 random graphs per elevation value; benchmarks use
+    a smaller ``replicates`` (recorded in EXPERIMENTS.md) to bound wall-time.
+    """
+    rng = as_rng(seed)
+    records: dict[int, list[InstanceRecord]] = {}
+    for elev in elevations:
+        if elev > n // 2:
+            continue  # unreachable elevation for this size
+        recs: list[InstanceRecord] = []
+        for rep in range(replicates):
+            spg = random_spg_with_elevation(n, elev, rng=rng, ccr=ccr)
+            choice = choose_period(
+                spg, grid, heuristics, rng=rng, options=options
+            )
+            recs.append(
+                InstanceRecord.from_choice(
+                    f"n{n}/elev{elev}/rep{rep}", choice
+                )
+            )
+        records[elev] = recs
+    return RandomExperiment(n, grid, ccr, records, tuple(heuristics))

@@ -1,0 +1,102 @@
+"""Export experiment results as CSV or Markdown.
+
+The benchmarks render ASCII tables for the terminal; this module provides
+machine-readable exports so downstream analysis (plotting the figures,
+diffing against the paper) does not have to re-run the sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.experiments.random_experiments import RandomExperiment
+from repro.experiments.runner import normalized_energy
+from repro.experiments.streamit_experiments import StreamItExperiment
+from repro.spg.streamit import STREAMIT_TABLE1
+
+__all__ = [
+    "streamit_csv",
+    "random_csv",
+    "streamit_markdown",
+    "random_markdown",
+]
+
+
+def streamit_csv(exp: StreamItExperiment) -> str:
+    """CSV rows: workflow, ccr, period, heuristic, energy, normalised, ok."""
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(
+        ["workflow", "ccr", "period_s", "heuristic", "energy_J",
+         "normalized", "ok"]
+    )
+    for (idx, ccr), rec in sorted(
+        exp.records.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+    ):
+        name = next(s.name for s in STREAMIT_TABLE1 if s.index == idx)
+        norm = normalized_energy(rec)
+        for h in exp.heuristics:
+            res = rec.results[h]
+            w.writerow([
+                name,
+                "original" if ccr is None else ccr,
+                rec.period,
+                h,
+                res.total_energy if res.ok else "",
+                norm[h] if res.ok else "",
+                int(res.ok),
+            ])
+    return buf.getvalue()
+
+
+def random_csv(exp: RandomExperiment) -> str:
+    """CSV rows: elevation, replicate, heuristic, energy, ok."""
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(
+        ["n", "ccr", "elevation", "replicate", "period_s", "heuristic",
+         "energy_J", "ok"]
+    )
+    for elev, recs in sorted(exp.records.items()):
+        for rep, rec in enumerate(recs):
+            for h in exp.heuristics:
+                res = rec.results[h]
+                w.writerow([
+                    exp.n, exp.ccr, elev, rep, rec.period, h,
+                    res.total_energy if res.ok else "", int(res.ok),
+                ])
+    return buf.getvalue()
+
+
+def _md_table(headers: list[str], rows: list[list[object]]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def streamit_markdown(exp: StreamItExperiment, ccr=None) -> str:
+    """Markdown table of normalised energies for one CCR setting."""
+    rows = exp.normalized_table(ccr)
+    label = "original" if ccr is None else f"{ccr:g}"
+    return (
+        f"### Normalised energy (CCR = {label}, "
+        f"{exp.grid.p}x{exp.grid.q})\n\n"
+        + _md_table(["idx", "workflow", *exp.heuristics], rows)
+    )
+
+
+def random_markdown(exp: RandomExperiment) -> str:
+    """Markdown table of mean normalised inverse energy per elevation."""
+    series = exp.mean_inverse_energy()
+    rows = [
+        [e, *(f"{series[e][h]:.3f}" for h in exp.heuristics)]
+        for e in sorted(series)
+    ]
+    return (
+        f"### Mean 1/E (n={exp.n}, {exp.grid.p}x{exp.grid.q}, "
+        f"CCR={exp.ccr:g})\n\n"
+        + _md_table(["elevation", *exp.heuristics], rows)
+    )

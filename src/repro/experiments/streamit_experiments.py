@@ -1,0 +1,109 @@
+"""StreamIt experiments: Figures 8-9 and Table 2 of the paper.
+
+For each of the 12 workflows and each CCR setting (original, 10, 1, 0.1)
+the period bound is selected with the divide-by-10 procedure and all five
+heuristics are run; the plots report the energy of each heuristic
+normalised by the best heuristic's energy on that instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.period import choose_period
+from repro.experiments.runner import (
+    FailureCounter,
+    InstanceRecord,
+    normalized_energy,
+)
+from repro.heuristics.base import PAPER_ORDER
+from repro.platform.cmp import CMPGrid
+from repro.spg.streamit import STREAMIT_TABLE1, streamit_workflow
+from repro.util.fmt import format_table
+from repro.util.rng import as_rng
+
+__all__ = ["StreamItExperiment", "run_streamit_experiment", "CCR_SETTINGS"]
+
+#: The four CCR settings of Figures 8 and 9 (None = original CCR).
+CCR_SETTINGS: tuple[float | None, ...] = (None, 10.0, 1.0, 0.1)
+
+
+@dataclass
+class StreamItExperiment:
+    """Results of one grid size's sweep over workflows and CCRs."""
+
+    grid: CMPGrid
+    records: dict[tuple[int, float | None], InstanceRecord]
+    heuristics: tuple[str, ...]
+
+    def normalized_table(self, ccr: float | None) -> list[list[object]]:
+        """Rows: [app index, name, normalised energy per heuristic or FAIL]."""
+        rows: list[list[object]] = []
+        for spec in STREAMIT_TABLE1:
+            rec = self.records.get((spec.index, ccr))
+            if rec is None:
+                continue
+            norm = normalized_energy(rec)
+            row: list[object] = [spec.index, spec.name]
+            for h in self.heuristics:
+                v = norm.get(h, float("inf"))
+                row.append("FAIL" if v == float("inf") else round(v, 3))
+            rows.append(row)
+        return rows
+
+    def failure_table(self) -> FailureCounter:
+        """Failure counts over all (workflow, CCR) instances (Table 2 row)."""
+        counter = FailureCounter(self.heuristics)
+        for rec in self.records.values():
+            counter.add(rec)
+        return counter
+
+    def render(self) -> str:
+        """Human-readable report for every CCR setting."""
+        blocks = []
+        for ccr in sorted({c for (_i, c) in self.records}, key=lambda c: (c is None, c)):
+            label = "original CCR" if ccr is None else f"CCR = {ccr:g}"
+            blocks.append(
+                format_table(
+                    ["idx", "workflow", *self.heuristics],
+                    self.normalized_table(ccr),
+                    title=f"Normalised energy ({label}, "
+                    f"{self.grid.p}x{self.grid.q} grid)",
+                )
+            )
+        counter = self.failure_table()
+        blocks.append(
+            format_table(
+                [*self.heuristics],
+                [counter.row()],
+                title=f"Failures out of {counter.total} instances (Table 2)",
+            )
+        )
+        return "\n\n".join(blocks)
+
+
+def run_streamit_experiment(
+    grid: CMPGrid,
+    ccrs=CCR_SETTINGS,
+    workflows: tuple[int, ...] | None = None,
+    seed: int = 0,
+    heuristics=PAPER_ORDER,
+    options: dict | None = None,
+) -> StreamItExperiment:
+    """Run the Figure-8/9 sweep on ``grid``.
+
+    ``workflows`` restricts to a subset of Table-1 indices (all by default);
+    benchmarks use subsets to bound wall-time.
+    """
+    rng = as_rng(seed)
+    indices = workflows or tuple(s.index for s in STREAMIT_TABLE1)
+    records: dict[tuple[int, float | None], InstanceRecord] = {}
+    for idx in indices:
+        for ccr in ccrs:
+            spg = streamit_workflow(idx, ccr=ccr, seed=seed)
+            choice = choose_period(
+                spg, grid, heuristics, rng=rng, options=options
+            )
+            label = f"app{idx}/ccr={'orig' if ccr is None else ccr}"
+            records[(idx, ccr)] = InstanceRecord.from_choice(label, choice)
+    return StreamItExperiment(grid, records, tuple(heuristics))

@@ -1,0 +1,79 @@
+"""Common interface and registry for the five heuristics of Section 5.
+
+Each heuristic is a callable ``(problem, rng=None, **options) -> Mapping``
+raising :class:`repro.core.errors.HeuristicFailure` when it cannot produce a
+valid mapping (a normal outcome counted by Tables 2 and 3 of the paper).
+:func:`run` wraps a heuristic call with independent re-validation and energy
+accounting so results never depend on heuristic-internal bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import HeuristicFailure, MappingError
+from repro.core.evaluate import EnergyBreakdown, validate
+from repro.core.mapping import Mapping
+from repro.core.problem import ProblemInstance
+
+__all__ = ["HeuristicResult", "REGISTRY", "PAPER_ORDER", "register", "run"]
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """Outcome of one heuristic run on one problem instance."""
+
+    name: str
+    mapping: Mapping | None
+    energy: EnergyBreakdown | None
+    failure: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.mapping is not None
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy, or +inf for failures (for min/normalisation)."""
+        return self.energy.total if self.energy is not None else float("inf")
+
+
+#: name -> heuristic callable
+REGISTRY: dict[str, Callable[..., Mapping]] = {}
+
+#: Heuristic names in the order the paper's plots list them.
+PAPER_ORDER = ("Random", "Greedy", "DPA2D", "DPA1D", "DPA2D1D")
+
+
+def register(name: str):
+    """Class/function decorator adding a heuristic to :data:`REGISTRY`."""
+
+    def deco(fn: Callable[..., Mapping]) -> Callable[..., Mapping]:
+        REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def run(
+    name: str, problem: ProblemInstance, rng=None, **options
+) -> HeuristicResult:
+    """Run heuristic ``name`` and re-validate its output independently.
+
+    A mapping that fails independent validation is treated as a heuristic
+    failure (and flagged in the failure message, since it would indicate a
+    heuristic bug rather than an infeasible instance).
+    """
+    fn = REGISTRY[name]
+    try:
+        mapping = fn(problem, rng=rng, **options)
+    except HeuristicFailure as exc:
+        return HeuristicResult(name, None, None, failure=str(exc) or "failed")
+    try:
+        breakdown = validate(mapping, problem.period)
+    except MappingError as exc:  # pragma: no cover - heuristic bug guard
+        return HeuristicResult(
+            name, None, None, failure=f"INVALID OUTPUT: {exc}"
+        )
+    return HeuristicResult(name, mapping, breakdown)

@@ -1,0 +1,211 @@
+"""DPA1D (Sections 4.1 and 5.4): optimal 1D dynamic program on the snake.
+
+The grid is configured as a uni-directional uni-line CMP with ``r = p*q``
+cores by embedding the line into the grid as a snake.  Theorem 1's DP then
+computes the *optimal* energy for this restricted platform:
+
+``E(G, k) = min over admissible G' of  E(G', k-1) (+) Ecal(G \\ G')``
+
+where admissible subgraphs are the order ideals of the SPG, ``Ecal`` maps a
+cluster to one core at the slowest feasible speed, the prefix cut must fit
+the link bandwidth, and ``(+)`` charges ``E_bit`` for every byte crossing
+the link (each physical snake link carries the cut of the prefix before it,
+so an edge spanning several positions pays once per hop, consistently with
+Section 3.5).
+
+The number of ideals is bounded by ``n^ymax``; like the paper we let the
+heuristic *fail* when the state space explodes (budget caps), which is
+exactly its reported behaviour on high-elevation workflows.  For linear
+chains (and for any SPG when communications are free) DPA1D is optimal
+among all mappings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import BudgetExceeded, HeuristicFailure
+from repro.core.mapping import Mapping
+from repro.core.partition import IdealLattice
+from repro.core.problem import ProblemInstance
+from repro.heuristics.base import register
+from repro.platform.routing import snake_order
+from repro.spg.graph import SPG
+from repro.util.bitset import bits_of
+
+__all__ = ["dpa1d_mapping", "solve_uniline"]
+
+INF = float("inf")
+
+
+def _cut_bytes(spg: SPG, prefix: int) -> float:
+    """Volume (bytes) of edges leaving the prefix ideal."""
+    total = 0.0
+    for (i, j), d in spg.edges.items():
+        if (prefix >> i) & 1 and not (prefix >> j) & 1:
+            total += d
+    return total
+
+
+class _UnilineDP:
+    """State shared between the forward DP pass and the reconstruction."""
+
+    def __init__(self, problem: ProblemInstance, r: int, ideal_budget: int):
+        self.spg = problem.spg
+        self.model = problem.grid.model
+        self.T = problem.period
+        self.r = min(r, self.spg.n)
+        self.cap_work = self.T * self.model.s_max
+        self.cap_bytes = self.model.link_capacity(self.T)
+        self.lat = IdealLattice(self.spg, budget=ideal_budget)
+        self._cut: dict[int, float] = {}
+        self._ecal: dict[int, tuple[float, float] | None] = {}
+        # best[ideal][k] = optimal energy of ideal on exactly k+... index k
+        # covers 0..r clusters (index 0 only finite for the empty ideal).
+        self.best: dict[int, np.ndarray] = {}
+
+    def cut(self, prefix: int) -> float:
+        c = self._cut.get(prefix)
+        if c is None:
+            c = _cut_bytes(self.spg, prefix)
+            self._cut[prefix] = c
+        return c
+
+    def ecal(self, cluster: int, work: float) -> tuple[float, float] | None:
+        """(energy, speed) of one cluster on one core, or None if infeasible.
+
+        ``work`` is the cluster's total weight, threaded through from the
+        enumeration so it is never recomputed from the bitmask.
+        """
+        hit = self._ecal.get(cluster, 0)
+        if hit != 0:
+            return hit
+        s = self.model.best_feasible(work, self.T)
+        val = None if s is None else (self.model.comp_energy(work, s, self.T), s)
+        self._ecal[cluster] = val
+        return val
+
+    def transition_cost(self, prefix: int, cluster: int, work: float) -> float:
+        """Cost of appending ``cluster`` after ``prefix`` (inf if infeasible)."""
+        ec = self.ecal(cluster, work)
+        if ec is None:
+            return INF
+        cost = ec[0]
+        if prefix:
+            cb = self.cut(prefix)
+            if cb > self.cap_bytes:
+                return INF
+            cost += self.model.comm_energy(cb)
+        return cost
+
+    def solve(self, transition_budget: int) -> tuple[float, int]:
+        """Forward pass; returns (optimal energy, optimal cluster count)."""
+        r = self.r
+        ideals = self.lat.ideals()  # may raise BudgetExceeded
+        empty = np.full(r + 1, INF)
+        empty[0] = 0.0
+        self.best[0] = empty
+        transitions = 0
+        for ideal in ideals:
+            if ideal == 0:
+                continue
+            row = np.full(r + 1, INF)
+            for cluster, work in self.lat.suffix_clusters_weighted(
+                ideal, self.cap_work
+            ):
+                transitions += 1
+                if transitions > transition_budget:
+                    raise BudgetExceeded(
+                        f"DPA1D exceeded {transition_budget} DP transitions"
+                    )
+                prev = self.best.get(ideal & ~cluster)
+                if prev is None:
+                    continue
+                cost = self.transition_cost(ideal & ~cluster, cluster, work)
+                if cost == INF:
+                    continue
+                np.minimum(row[1:], prev[:-1] + cost, out=row[1:])
+            if np.isfinite(row).any():
+                self.best[ideal] = row
+        final = self.best.get(self.lat.full)
+        if final is None or not np.isfinite(final[1:]).any():
+            raise HeuristicFailure("DPA1D: no feasible clustering")
+        k_best = int(np.argmin(final[1:])) + 1
+        return float(final[k_best]), k_best
+
+    def reconstruct(self, k_best: int) -> tuple[list[list[int]], list[float]]:
+        """Walk back through the DP by re-evaluating local transitions."""
+        clusters_rev: list[list[int]] = []
+        speeds_rev: list[float] = []
+        ideal, k = self.lat.full, k_best
+        while ideal:
+            target = self.best[ideal][k]
+            found = False
+            for cluster, work in self.lat.suffix_clusters_weighted(
+                ideal, self.cap_work
+            ):
+                prefix = ideal & ~cluster
+                prev = self.best.get(prefix)
+                if prev is None or not np.isfinite(prev[k - 1]):
+                    continue
+                cost = self.transition_cost(prefix, cluster, work)
+                if cost == INF:
+                    continue
+                if prev[k - 1] + cost <= target * (1 + 1e-12) + 1e-30:
+                    clusters_rev.append(bits_of(cluster))
+                    speeds_rev.append(self.ecal(cluster, work)[1])
+                    ideal, k = prefix, k - 1
+                    found = True
+                    break
+            if not found:  # pragma: no cover - numerical safety net
+                raise HeuristicFailure("DPA1D: reconstruction failed")
+        return clusters_rev[::-1], speeds_rev[::-1]
+
+
+def solve_uniline(
+    problem: ProblemInstance,
+    r: int,
+    ideal_budget: int = 120_000,
+    transition_budget: int = 1_000_000,
+) -> tuple[float, list[list[int]], list[float]]:
+    """Optimal clustering of ``problem.spg`` on a 1 x ``r`` uni-directional line.
+
+    Returns ``(energy, clusters, speeds)`` with clusters in line order.
+    Raises :class:`HeuristicFailure` (or its subclass
+    :class:`BudgetExceeded`) when the ideal lattice or the transition count
+    exceeds its budget, or when no feasible clustering exists.
+    """
+    dp = _UnilineDP(problem, r, ideal_budget)
+    e, k_best = dp.solve(transition_budget)
+    clusters, speeds = dp.reconstruct(k_best)
+    return e, clusters, speeds
+
+
+@register("DPA1D")
+def dpa1d_mapping(
+    problem: ProblemInstance,
+    rng=None,
+    ideal_budget: int = 120_000,
+    transition_budget: int = 1_000_000,
+) -> Mapping:
+    """Optimal 1D clustering mapped along the snake of the 2D grid."""
+    grid = problem.grid
+    _, clusters, speeds = solve_uniline(
+        problem, grid.n_cores, ideal_budget, transition_budget
+    )
+    order = snake_order(grid.p, grid.q)
+    alloc: dict[int, tuple[int, int]] = {}
+    speed_map: dict[tuple[int, int], float] = {}
+    position: dict[int, int] = {}
+    for t, cluster in enumerate(clusters):
+        core = order[t]
+        speed_map[core] = speeds[t]
+        for stage in cluster:
+            alloc[stage] = core
+            position[stage] = t
+    paths = {}
+    for (i, j) in problem.spg.edges:
+        a, b = position[i], position[j]
+        if a != b:
+            paths[(i, j)] = order[a : b + 1]
+    return Mapping(problem.spg, grid, alloc, speed_map, paths)

@@ -1,0 +1,192 @@
+"""The Greedy heuristic (Section 5.2).
+
+For each speed ``s`` of the DVFS set, ``greedy(s)`` assigns the SPG over the
+grid with all cores clocked at ``s``:
+
+* a FIFO of *ready cores* starts with ``C(0,0)`` holding the source stage;
+* each ready core carries a list of *offered* stages (successors forwarded
+  to it); processing the core, it absorbs offered stages and successors of
+  its own stages — in non-increasing order of incoming communication
+  volume — while the computation fits ``T`` and the partial clustering
+  stays a DAG-partition;
+* whatever it does not absorb is forwarded onward to the right and down
+  neighbours ("the stages that can either be assigned to this core, or
+  forwarded to the neighbouring cores"), each communication going to the
+  neighbour with the smaller incoming communication load, preferring a
+  neighbour with computation room left;
+* when every stage is assigned, communications are routed with XY routing
+  and the full mapping is validated; each core is then *downgraded* to the
+  cheapest feasible speed for its load, and unused cores are off.
+
+The heuristic returns the lowest-energy mapping over all speeds and fails
+when no speed yields a valid mapping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.errors import HeuristicFailure, MappingError
+from repro.core.evaluate import energy, is_period_feasible
+from repro.core.mapping import Mapping
+from repro.core.partition import is_acyclic_quotient
+from repro.core.problem import ProblemInstance
+from repro.heuristics.base import register
+from repro.platform.cmp import Core
+
+__all__ = ["greedy_mapping"]
+
+
+def _greedy_at_speed(problem: ProblemInstance, speed: float) -> Mapping | None:
+    spg, grid, T = problem.spg, problem.grid, problem.period
+    cap_work = T * speed
+    cap_bytes = grid.model.link_capacity(T)
+
+    assigned: dict[int, Core] = {}
+    # offers[core]: stages forwarded toward that core (not yet assigned).
+    offers: dict[Core, list[int]] = {(0, 0): [spg.source]}
+    offered_at: dict[int, Core] = {spg.source: (0, 0)}
+    incoming_load: dict[Core, float] = {}
+    processed: set[Core] = set()
+    queue: deque[Core] = deque([(0, 0)])
+
+    def partial_quotient_ok() -> bool:
+        # Unassigned stages act as singleton clusters: cycles can only come
+        # from the clusters formed so far.
+        cluster_of = {i: assigned.get(i, ("stage", i)) for i in range(spg.n)}
+        return is_acyclic_quotient(spg, cluster_of)
+
+    def incoming_volume(j: int, core: Core) -> float:
+        """Communication volume into unassigned ``j`` from stages on ``core``."""
+        return sum(
+            spg.edges[(i, j)]
+            for i in spg.preds(j)
+            if assigned.get(i) == core
+        )
+
+    while queue:
+        core = queue.popleft()
+        if core in processed:
+            continue
+        processed.add(core)
+        pool: list[int] = list(offers.pop(core, []))
+        load = 0.0
+
+        # Absorb as much as possible: offered stages plus successors of the
+        # stages already absorbed here, largest incoming volume first.
+        while True:
+            candidates = [j for j in pool if j not in assigned]
+            for i, c in list(assigned.items()):
+                if c != core:
+                    continue
+                for j in spg.succs(i):
+                    if j not in assigned and j not in candidates:
+                        owner = offered_at.get(j)
+                        if owner is None or owner == core:
+                            candidates.append(j)
+            candidates.sort(key=lambda j: (-incoming_volume(j, core), j))
+            grew = False
+            for j in candidates:
+                if load + spg.weights[j] > cap_work:
+                    continue
+                assigned[j] = core
+                if partial_quotient_ok():
+                    load += spg.weights[j]
+                    if j in pool:
+                        pool.remove(j)
+                    offered_at.pop(j, None)
+                    grew = True
+                    break
+                del assigned[j]
+            if not grew:
+                break
+
+        # Whatever remains — unabsorbed offers plus fresh successors — is
+        # forwarded to the right / down neighbours.
+        outgoing: dict[int, float] = {}
+        for j in pool:
+            if j not in assigned:
+                outgoing[j] = outgoing.get(j, 0.0) + incoming_volume(j, core)
+        for i, c in assigned.items():
+            if c != core:
+                continue
+            for j in spg.succs(i):
+                if j not in assigned and offered_at.get(j) in (None, core):
+                    outgoing.setdefault(j, incoming_volume(j, core))
+
+        if outgoing:
+            u, v = core
+            targets = [
+                c
+                for c in ((u, v + 1), (u + 1, v))
+                if grid.in_bounds(c) and c not in processed
+            ]
+            if not targets:
+                return None
+            offer_work = {
+                c: sum(spg.weights[k] for k in offers.get(c, []))
+                for c in targets
+            }
+            for j in sorted(outgoing, key=lambda j: (-outgoing[j], j)):
+                # Balance incoming communications (the paper's rule), but
+                # prefer a neighbour that still has computation room.
+                roomy = [
+                    c
+                    for c in targets
+                    if offer_work[c] + spg.weights[j] <= cap_work
+                ]
+                tgt = min(
+                    roomy or targets,
+                    key=lambda c: incoming_load.get(c, 0.0),
+                )
+                incoming_load[tgt] = incoming_load.get(tgt, 0.0) + outgoing[j]
+                if incoming_load[tgt] > cap_bytes:
+                    return None
+                offer_work[tgt] += spg.weights[j]
+                offers.setdefault(tgt, []).append(j)
+                offered_at[j] = tgt
+                if tgt not in queue:
+                    queue.append(tgt)
+
+    if len(assigned) != spg.n:
+        return None
+    speeds = {c: speed for c in set(assigned.values())}
+    mapping = Mapping(spg, grid, assigned, speeds)
+    try:
+        mapping.check_structure()
+    except MappingError:
+        return None
+    if not is_period_feasible(mapping, T):
+        return None
+    return _downgrade(problem, mapping)
+
+
+def _downgrade(problem: ProblemInstance, mapping: Mapping) -> Mapping:
+    """Give every core the cheapest feasible speed for its final load."""
+    model = problem.grid.model
+    new_speeds = {}
+    for core, work in mapping.core_work().items():
+        s = model.best_feasible(work, problem.period)
+        assert s is not None  # the mapping was feasible at the trial speed
+        new_speeds[core] = s
+    return Mapping(
+        mapping.spg, mapping.grid, dict(mapping.alloc), new_speeds,
+        dict(mapping.paths),
+    )
+
+
+@register("Greedy")
+def greedy_mapping(problem: ProblemInstance, rng=None) -> Mapping:
+    """Try every DVFS speed, return the lowest-energy valid mapping."""
+    best: Mapping | None = None
+    best_e = float("inf")
+    for s in problem.grid.model.speeds:
+        mapping = _greedy_at_speed(problem, s)
+        if mapping is None:
+            continue
+        e = energy(mapping, problem.period).total
+        if e < best_e:
+            best, best_e = mapping, e
+    if best is None:
+        raise HeuristicFailure("Greedy: no speed produced a valid mapping")
+    return best

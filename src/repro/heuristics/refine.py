@@ -1,0 +1,145 @@
+"""Local-search refinement of mappings (the paper's Section-7 future work).
+
+The paper closes with two open directions: *general mappings* (dropping
+the DAG-partition restriction) and an absolute quality measure for the
+heuristics.  This module provides a hill-climbing refiner that
+
+* takes any valid mapping (typically a heuristic's output),
+* repeatedly applies local moves — move one stage to another core, swap
+  the contents of two cores, power a core off by emptying it — keeping
+  XY routing,
+* accepts a move iff the mapping stays feasible for the period and the
+  energy strictly decreases (speeds are re-optimised per move), and
+* optionally admits *general* (non-DAG-partition) clusterings, which lets
+  experiments quantify exactly how much the DAG-partition rule costs.
+
+Deterministic given the RNG; first-improvement with a sweep budget.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import HeuristicFailure
+from repro.core.evaluate import energy, is_period_feasible
+from repro.core.mapping import Mapping
+from repro.core.problem import ProblemInstance
+from repro.util.rng import as_rng
+
+__all__ = ["refine_mapping", "refined"]
+
+
+def _rebuild(
+    problem: ProblemInstance, alloc: dict[int, tuple[int, int]]
+) -> Mapping | None:
+    """Mapping from an allocation with energy-optimal per-core speeds."""
+    model = problem.grid.model
+    work: dict[tuple[int, int], float] = {}
+    for i, c in alloc.items():
+        work[c] = work.get(c, 0.0) + problem.spg.weights[i]
+    speeds: dict[tuple[int, int], float] = {}
+    for c, w in work.items():
+        s = model.best_feasible(w, problem.period)
+        if s is None:
+            return None
+        speeds[c] = s
+    return Mapping(problem.spg, problem.grid, dict(alloc), speeds)
+
+
+def _acceptable(
+    problem: ProblemInstance, mapping: Mapping, allow_general: bool
+) -> bool:
+    if not mapping.is_valid_structure(require_dag_partition=not allow_general):
+        return False
+    return is_period_feasible(mapping, problem.period)
+
+
+def refine_mapping(
+    problem: ProblemInstance,
+    mapping: Mapping,
+    rng=None,
+    sweeps: int = 4,
+    allow_general: bool = False,
+) -> Mapping:
+    """Hill-climb ``mapping``; returns an equal-or-better valid mapping.
+
+    ``allow_general=True`` drops the DAG-partition requirement for the
+    refined mapping (the input may be any valid mapping either way).
+    """
+    rng = as_rng(rng)
+    best = mapping
+    best_e = energy(best, problem.period).total
+    cores = problem.grid.cores()
+    n = problem.spg.n
+
+    for _sweep in range(sweeps):
+        improved = False
+        stage_order = list(rng.permutation(n))
+        # Move one stage to each other core, first improvement wins.
+        for i in stage_order:
+            i = int(i)
+            current = best.alloc[i]
+            for c in cores:
+                if c == current:
+                    continue
+                alloc = dict(best.alloc)
+                alloc[i] = c
+                cand = _rebuild(problem, alloc)
+                if cand is None or not _acceptable(
+                    problem, cand, allow_general
+                ):
+                    continue
+                e = energy(cand, problem.period).total
+                if e < best_e * (1 - 1e-12):
+                    best, best_e = cand, e
+                    improved = True
+                    break
+        # Swap whole clusters between core pairs (placement improvement).
+        clusters = best.clusters()
+        active = sorted(clusters)
+        for a_idx in range(len(active)):
+            for b in cores:
+                a = active[a_idx]
+                if a == b:
+                    continue
+                alloc = dict(best.alloc)
+                for i in clusters.get(a, []):
+                    alloc[i] = b
+                for i in clusters.get(b, []):
+                    alloc[i] = a
+                cand = _rebuild(problem, alloc)
+                if cand is None or not _acceptable(
+                    problem, cand, allow_general
+                ):
+                    continue
+                e = energy(cand, problem.period).total
+                if e < best_e * (1 - 1e-12):
+                    best, best_e = cand, e
+                    improved = True
+                    clusters = best.clusters()
+                    active = sorted(clusters)
+                    break
+        if not improved:
+            break
+    return best
+
+
+def refined(
+    name: str,
+    problem: ProblemInstance,
+    rng=None,
+    sweeps: int = 4,
+    allow_general: bool = False,
+    **options,
+) -> Mapping:
+    """Run heuristic ``name`` and refine its output.
+
+    Raises :class:`HeuristicFailure` if the base heuristic fails.
+    """
+    from repro.heuristics.base import REGISTRY
+
+    rng = as_rng(rng)
+    base = REGISTRY[name](problem, rng=rng, **options)
+    if base is None:  # pragma: no cover - registry functions raise instead
+        raise HeuristicFailure(f"{name} failed")
+    return refine_mapping(
+        problem, base, rng=rng, sweeps=sweeps, allow_general=allow_general
+    )

@@ -1,0 +1,18 @@
+"""CMP platform substrate: grid topology, DVFS power model, routing."""
+
+from repro.platform.cmp import CMPGrid, Core, Link
+from repro.platform.speeds import PowerModel, XSCALE, xscale_model
+from repro.platform.routing import xy_path, snake_order, snake_path, manhattan
+
+__all__ = [
+    "CMPGrid",
+    "Core",
+    "Link",
+    "PowerModel",
+    "XSCALE",
+    "xscale_model",
+    "xy_path",
+    "snake_order",
+    "snake_path",
+    "manhattan",
+]

@@ -1,0 +1,68 @@
+"""Routing policies on the CMP grid.
+
+Two routing schemes appear in the paper's heuristics:
+
+* **XY routing** (Section 5.1): traverse horizontal links first, then
+  vertical links.  Deterministic, deadlock-free, used by Random and as the
+  default path generator for arbitrary mappings.
+* **Snake embedding** (Section 5.4): the ``p x q`` grid is configured as a
+  1 x pq uni-directional line following a boustrophedon ("snake") order;
+  the 1D heuristics map clusters along it and use only snake links.
+"""
+
+from __future__ import annotations
+
+from repro.platform.cmp import CMPGrid, Core
+
+__all__ = ["xy_path", "snake_order", "snake_path", "manhattan"]
+
+
+def manhattan(a: Core, b: Core) -> int:
+    """Manhattan distance between two cores."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def xy_path(src: Core, dst: Core) -> list[Core]:
+    """The XY route from ``src`` to ``dst`` (inclusive of both endpoints).
+
+    Horizontal links first (fix the column), then vertical links (fix the
+    row), as described for the Random heuristic: a communication from
+    ``C(u,v)`` to ``C(u',v')`` follows horizontal links to ``C(u,v')`` and
+    then vertical links to ``C(u',v')``.
+    """
+    (u1, v1), (u2, v2) = src, dst
+    path = [(u1, v1)]
+    step = 1 if v2 > v1 else -1
+    for v in range(v1 + step, v2 + step, step) if v1 != v2 else []:
+        path.append((u1, v))
+    step = 1 if u2 > u1 else -1
+    for u in range(u1 + step, u2 + step, step) if u1 != u2 else []:
+        path.append((u, v2))
+    return path
+
+
+def snake_order(p: int, q: int) -> list[Core]:
+    """The boustrophedon enumeration of a ``p x q`` grid.
+
+    Row 0 left-to-right, row 1 right-to-left, and so on; consecutive cores
+    in the returned list are always grid neighbours, so the order embeds a
+    1 x pq uni-directional line into the grid:
+
+    ``(0,0) -> (0,1) -> ... -> (0,q-1) -> (1,q-1) -> (1,q-2) -> ...``
+    """
+    order: list[Core] = []
+    for u in range(p):
+        cols = range(q) if u % 2 == 0 else range(q - 1, -1, -1)
+        order.extend((u, v) for v in cols)
+    return order
+
+
+def snake_path(grid: CMPGrid, i: int, j: int) -> list[Core]:
+    """The path along the snake from position ``i`` to position ``j > i``.
+
+    Positions index :func:`snake_order`; the result is the exact list of
+    physical cores traversed (all consecutive pairs are grid links).
+    """
+    if not 0 <= i < j < grid.n_cores:
+        raise ValueError("need 0 <= i < j < p*q")
+    return snake_order(grid.p, grid.q)[i : j + 1]

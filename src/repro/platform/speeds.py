@@ -1,0 +1,153 @@
+"""DVFS speed sets and the power/energy model of Section 3.5 / 6.1.2.
+
+The default configuration is the Intel XScale model used by the paper's
+simulations: five speeds (0.15 to 1 GHz), dynamic powers 80 to 1600 mW,
+computation leakage 80 mW, 16-byte-wide links at 1.2 GHz (19.2 GB/s per
+direction) and a link energy of 6 pJ/bit.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = ["PowerModel", "XSCALE", "xscale_model"]
+
+GHZ = 1e9
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Discrete DVFS speeds and the associated power/energy constants.
+
+    Attributes
+    ----------
+    speeds:
+        Possible core speeds in Hz, strictly increasing.
+    dyn_power:
+        ``dyn_power[k]`` is the dynamic power (W) drawn while computing at
+        ``speeds[k]``.
+    comp_leak:
+        Leakage power (W) dissipated by each *active* core over the whole
+        period.
+    comm_leak:
+        Aggregated leakage power (W) of all routers/links (paper uses 0: it
+        adds the same ``P_leak * T`` to every mapping).
+    e_bit:
+        Energy (J) to transfer one bit across one link hop.
+    bandwidth:
+        Link bandwidth in bytes/s, per direction.
+    """
+
+    speeds: tuple[float, ...]
+    dyn_power: tuple[float, ...]
+    comp_leak: float
+    comm_leak: float
+    e_bit: float
+    bandwidth: float
+    _sorted: tuple[float, ...] = field(init=False, repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if len(self.speeds) != len(self.dyn_power):
+            raise ValueError("speeds and dyn_power must have the same length")
+        if not self.speeds:
+            raise ValueError("need at least one speed")
+        if any(s2 <= s1 for s1, s2 in zip(self.speeds, self.speeds[1:])):
+            raise ValueError("speeds must be strictly increasing")
+        object.__setattr__(self, "_sorted", tuple(self.speeds))
+
+    # ------------------------------------------------------------------
+    @property
+    def s_max(self) -> float:
+        """Fastest available speed (Hz)."""
+        return self.speeds[-1]
+
+    @property
+    def s_min(self) -> float:
+        """Slowest available speed (Hz)."""
+        return self.speeds[0]
+
+    def power_at(self, speed: float) -> float:
+        """Dynamic power (W) at ``speed`` (must be one of :attr:`speeds`)."""
+        try:
+            return self.dyn_power[self.speeds.index(speed)]
+        except ValueError:
+            raise ValueError(f"{speed} is not an available speed") from None
+
+    def slowest_feasible(self, work: float, period: float) -> float | None:
+        """Slowest speed executing ``work`` cycles within ``period`` seconds.
+
+        Returns ``None`` when even the fastest speed cannot meet the period.
+        This is the speed-selection rule the paper states ("the minimum
+        speed that allows for computing all the stages within the period");
+        see :meth:`best_feasible` for the energy-optimal variant.
+        """
+        if period <= 0:
+            return None
+        if work == 0:
+            return self.speeds[0]
+        # Tolerant comparison: callers reason in "work <= T * s" space and
+        # float division must not flip a boundary case.
+        for s in self.speeds:
+            if work <= s * period * (1.0 + 1e-12):
+                return s
+        return None
+
+    def best_feasible(self, work: float, period: float) -> float | None:
+        """The *energy-optimal* feasible speed for ``work`` within ``period``.
+
+        The paper's heuristics pick the slowest feasible speed, implicitly
+        assuming energy per cycle ``P_dyn(s)/s`` increases with ``s``.  The
+        XScale table violates this at the bottom (0.08/0.15 GHz > 0.17/0.4
+        GHz per cycle), so the energy-minimal feasible speed can be a notch
+        *above* the slowest feasible one.  All solvers in this library use
+        this rule so that, e.g., Theorem 1's DP is genuinely optimal under
+        the stated energy model.  Returns ``None`` when infeasible.
+        """
+        if period <= 0:
+            return None
+        if work == 0:
+            # No dynamic energy either way; report the slowest speed.
+            return self.speeds[0]
+        best: float | None = None
+        best_epc = float("inf")
+        for s, pw in zip(self.speeds, self.dyn_power):
+            if work <= s * period * (1.0 + 1e-12):
+                epc = pw / s
+                if epc < best_epc:
+                    best, best_epc = s, epc
+        return best
+
+    def comp_energy(self, work: float, speed: float, period: float) -> float:
+        """Energy (J) of one active core: leakage over ``period`` + dynamic.
+
+        ``E = P_leak * T + (work / speed) * P_dyn(speed)`` per Section 3.5.
+        """
+        return self.comp_leak * period + (work / speed) * self.power_at(speed)
+
+    def comm_energy(self, volume_bytes: float) -> float:
+        """Dynamic energy (J) of sending ``volume_bytes`` across one link hop."""
+        return 8.0 * volume_bytes * self.e_bit
+
+    def link_capacity(self, period: float) -> float:
+        """Maximum bytes one link direction can carry per period."""
+        return self.bandwidth * period
+
+
+def xscale_model(
+    bandwidth: float = 16 * 1.2 * GHZ,
+    e_bit: float = 6e-12,
+) -> PowerModel:
+    """The Intel XScale configuration of Section 6.1.2."""
+    return PowerModel(
+        speeds=(0.15 * GHZ, 0.4 * GHZ, 0.6 * GHZ, 0.8 * GHZ, 1.0 * GHZ),
+        dyn_power=(0.08, 0.17, 0.40, 0.90, 1.60),
+        comp_leak=0.08,
+        comm_leak=0.0,
+        e_bit=e_bit,
+        bandwidth=bandwidth,
+    )
+
+
+#: Module-level default XScale model (immutable).
+XSCALE = xscale_model()

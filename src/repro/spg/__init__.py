@@ -1,0 +1,62 @@
+"""SPG substrate: graphs, builders, random generation, StreamIt suite."""
+
+from repro.spg.graph import SPG, series, parallel, sp_edge
+from repro.spg.build import chain, split_join, fork_join, diamond, pipeline_of
+from repro.spg.random_gen import (
+    random_spg,
+    random_spg_with_elevation,
+    random_weights,
+)
+from repro.spg.streamit import (
+    STREAMIT_TABLE1,
+    StreamItSpec,
+    streamit_workflow,
+    streamit_suite,
+    streamit_names,
+)
+from repro.spg.decompose import SPTree, decompose, sp_depth
+from repro.spg.gadgets import (
+    partition_fork_join,
+    partition_platform,
+    solve_2partition_via_mapping,
+    uniline_gadget,
+)
+from repro.spg.analysis import (
+    ancestor_masks,
+    descendant_masks,
+    cut_volume,
+    out_cut_edges,
+    is_series_parallel,
+)
+
+__all__ = [
+    "SPG",
+    "series",
+    "parallel",
+    "sp_edge",
+    "chain",
+    "split_join",
+    "fork_join",
+    "diamond",
+    "pipeline_of",
+    "random_spg",
+    "random_spg_with_elevation",
+    "random_weights",
+    "STREAMIT_TABLE1",
+    "StreamItSpec",
+    "streamit_workflow",
+    "streamit_suite",
+    "streamit_names",
+    "SPTree",
+    "decompose",
+    "sp_depth",
+    "partition_fork_join",
+    "partition_platform",
+    "solve_2partition_via_mapping",
+    "uniline_gadget",
+    "ancestor_masks",
+    "descendant_masks",
+    "cut_volume",
+    "out_cut_edges",
+    "is_series_parallel",
+]

@@ -1,0 +1,133 @@
+"""Structural analysis of SPGs: reachability, cuts, SP-recognition.
+
+These utilities back the DAG-partition machinery (convexity and quotient
+acyclicity checks) and the dynamic-programming heuristics (prefix cuts).
+Node subsets are bitmask integers (see :mod:`repro.util.bitset`).
+"""
+
+from __future__ import annotations
+
+from repro.spg.graph import SPG
+from repro.util.bitset import bit, iter_bits
+
+__all__ = [
+    "descendant_masks",
+    "ancestor_masks",
+    "cut_volume",
+    "out_cut_edges",
+    "is_series_parallel",
+]
+
+
+def descendant_masks(spg: SPG) -> list[int]:
+    """``masks[i]`` = bitset of strict descendants of stage ``i``."""
+    masks = [0] * spg.n
+    for i in reversed(spg.topological_order()):
+        m = 0
+        for j in spg.succs(i):
+            m |= bit(j) | masks[j]
+        masks[i] = m
+    return masks
+
+
+def ancestor_masks(spg: SPG) -> list[int]:
+    """``masks[i]`` = bitset of strict ancestors of stage ``i``."""
+    masks = [0] * spg.n
+    for i in spg.topological_order():
+        m = 0
+        for j in spg.preds(i):
+            m |= bit(j) | masks[j]
+        masks[i] = m
+    return masks
+
+
+def cut_volume(spg: SPG, subset: int) -> float:
+    """Total volume of edges leaving bitset ``subset`` (to its complement).
+
+    On a uni-directional linear array every edge leaving a prefix of the
+    cluster sequence crosses the link just after that prefix, so this is the
+    traffic of the link following ``subset`` in the Theorem-1 DP.
+    """
+    total = 0.0
+    for (i, j), d in spg.edges.items():
+        if (subset >> i) & 1 and not (subset >> j) & 1:
+            total += d
+    return total
+
+
+def out_cut_edges(spg: SPG, subset: int) -> list[tuple[int, int, float]]:
+    """Edges ``(i, j, delta)`` leaving bitset ``subset``."""
+    return [
+        (i, j, d)
+        for (i, j), d in spg.edges.items()
+        if (subset >> i) & 1 and not (subset >> j) & 1
+    ]
+
+
+def is_series_parallel(spg: SPG) -> bool:
+    """Check two-terminal series-parallel structure by SP reduction.
+
+    Repeatedly applies *series reductions* (remove a node with in-degree and
+    out-degree one, fusing its two edges) and *parallel reductions* (fuse
+    multi-edges).  The graph is SP iff it reduces to a single edge from
+    source to sink.  Graphs produced by :func:`repro.spg.graph.series` /
+    :func:`repro.spg.graph.parallel` always pass; hand-built DAGs may not.
+    """
+    n = spg.n
+    if n == 1:
+        return True
+    # Multiset of edges as {(i, j): multiplicity}; volumes are irrelevant.
+    mult: dict[tuple[int, int], int] = {}
+    for (i, j) in spg.edges:
+        mult[(i, j)] = mult.get((i, j), 0) + 1
+    preds: dict[int, set[int]] = {i: set() for i in range(n)}
+    succs: dict[int, set[int]] = {i: set() for i in range(n)}
+    for (i, j) in mult:
+        succs[i].add(j)
+        preds[j].add(i)
+
+    changed = True
+    while changed:
+        changed = False
+        # Parallel reduction: collapse multiplicity.
+        for e, m in list(mult.items()):
+            if m > 1:
+                mult[e] = 1
+                changed = True
+        # Series reduction.
+        for v in list(preds):
+            if v in (spg.source, spg.sink):
+                continue
+            if len(preds[v]) == 1 and len(succs[v]) == 1:
+                (a,) = preds[v]
+                (b,) = succs[v]
+                if mult.get((a, v), 0) == 1 and mult.get((v, b), 0) == 1:
+                    if a == b:  # would create a self loop; not SP
+                        continue
+                    del mult[(a, v)]
+                    del mult[(v, b)]
+                    succs[a].discard(v)
+                    preds[b].discard(v)
+                    mult[(a, b)] = mult.get((a, b), 0) + 1
+                    succs[a].add(b)
+                    preds[b].add(a)
+                    del preds[v]
+                    del succs[v]
+                    changed = True
+    return set(mult) == {(spg.source, spg.sink)}
+
+
+def convex_closure_ok(
+    cluster: int, desc: list[int], anc: list[int], n: int
+) -> bool:
+    """True iff bitset ``cluster`` is convex (no outside node on an inside path).
+
+    A node ``w`` outside the cluster violates convexity iff it is a
+    descendant of some cluster node *and* an ancestor of some cluster node.
+    """
+    below = 0  # nodes reachable from the cluster
+    above = 0  # nodes reaching the cluster
+    for i in iter_bits(cluster):
+        below |= desc[i]
+        above |= anc[i]
+    return (below & above) & ~cluster == 0

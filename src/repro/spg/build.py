@@ -1,0 +1,106 @@
+"""Convenience constructors for common SPG shapes.
+
+All builders take explicit weight/volume sequences or a default constant so
+that tests can pin exact values; the StreamIt synthesis and the random
+generator layer their own weight distributions on top.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.spg.graph import SPG, parallel, series, sp_edge
+
+__all__ = ["chain", "split_join", "fork_join", "pipeline_of", "diamond"]
+
+
+def chain(
+    n: int,
+    weights: Sequence[float] | float = 1.0,
+    comms: Sequence[float] | float = 1.0,
+) -> SPG:
+    """A linear chain of ``n`` stages (``n >= 2``); xmax = n, ymax = 1."""
+    if n < 2:
+        raise ValueError("chain needs at least 2 stages")
+    w = list(weights) if isinstance(weights, Sequence) else [weights] * n
+    c = list(comms) if isinstance(comms, Sequence) else [comms] * (n - 1)
+    if len(w) != n or len(c) != n - 1:
+        raise ValueError("weights/comms length mismatch")
+    g = sp_edge(w[0], w[1], c[0])
+    for k in range(2, n):
+        g = series(g, sp_edge(0.0, w[k], c[k - 1]), merge="first")
+    return g
+
+
+def split_join(
+    branch_lengths: Sequence[int],
+    w_source: float = 1.0,
+    w_sink: float = 1.0,
+    w_branch: float = 1.0,
+    comm: float = 1.0,
+) -> SPG:
+    """A split-join: ``k`` parallel chains between a source and a sink.
+
+    ``branch_lengths[b]`` is the number of *internal* stages of branch ``b``
+    (>= 1).  The result has ``n = 2 + sum(branch_lengths)`` stages, elevation
+    ``k = len(branch_lengths)`` and length ``2 + max(branch_lengths)``.
+    This is the basic StreamIt building block.
+    """
+    if not branch_lengths or any(l < 1 for l in branch_lengths):
+        raise ValueError("need at least one branch, each of length >= 1")
+    branches = [
+        chain(l + 2, [w_source] + [w_branch] * l + [w_sink], comm)
+        for l in branch_lengths
+    ]
+    g = branches[0]
+    for b in branches[1:]:
+        g = parallel(g, b, merge="first")
+    return g
+
+
+def fork_join(
+    k: int,
+    branch_weights: Sequence[float] | float = 1.0,
+    w_source: float = 0.0,
+    w_sink: float = 0.0,
+    comm: float = 0.0,
+) -> SPG:
+    """A fork-join of ``k`` single-stage branches (the Proposition-1 gadget).
+
+    With ``w_source = w_sink = 0`` and zero communications this is exactly
+    the unbounded-elevation graph used in the 2-PARTITION reduction.
+    """
+    if isinstance(branch_weights, Sequence):
+        bw = list(branch_weights)
+        if len(bw) != k:
+            raise ValueError("branch_weights length mismatch")
+    else:
+        bw = [branch_weights] * k
+    g = split_join([1] * k, w_source, w_sink, 1.0, comm)
+    # split_join([1]*k) numbers stages: 0 = source, 1..k = branches, k+1 = sink.
+    return g.with_weights(weights=[w_source] + bw + [w_sink])
+
+
+def diamond(
+    w: Sequence[float] = (1.0, 1.0, 1.0, 1.0),
+    d: Sequence[float] = (1.0, 1.0, 1.0, 1.0),
+) -> SPG:
+    """The 4-stage diamond: 0 -> {1, 2} -> 3 (smallest non-chain SPG)."""
+    left = chain(3, [w[0], w[1], w[3]], [d[0], d[2]])
+    right = chain(3, [0.0, w[2], 0.0], [d[1], d[3]])
+    return parallel(left, right, merge="first")
+
+
+def pipeline_of(segments: Sequence[SPG]) -> SPG:
+    """Series composition of ``segments`` left to right (merge rule "first").
+
+    With the "first" rule the junction stage keeps the weight it has in the
+    left segment, so builders can put the full junction weight there and set
+    the right segment's source weight to anything.
+    """
+    if not segments:
+        raise ValueError("need at least one segment")
+    g = segments[0]
+    for s in segments[1:]:
+        g = series(g, s, merge="first")
+    return g

@@ -1,0 +1,139 @@
+"""The NP-hardness reduction gadgets of Section 4.
+
+These constructions make the paper's complexity results executable:
+
+* :func:`partition_fork_join` — Proposition 1: a fork-join of elevation
+  ``n`` whose period-matching on two single-speed cores solves
+  2-PARTITION (the unbounded-elevation uni-line hardness).
+* :func:`uniline_gadget` — Theorem 2: the bounded-elevation SPG of
+  Figure 3 (3n + 3 stages, unit computations, communication volumes built
+  from the 2-PARTITION instance) used for the bi-directional uni-line
+  hardness.
+* :func:`solve_2partition_via_mapping` — runs an exact mapping solver on
+  the Proposition-1 gadget and reads the 2-PARTITION answer off the
+  result, demonstrating the reduction end to end (used by tests).
+
+The gadgets also serve as stress inputs: they are maximally parallel
+(fork-joins) or bandwidth-critical by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.platform.cmp import CMPGrid
+from repro.platform.speeds import PowerModel
+from repro.spg.build import fork_join
+from repro.spg.graph import SPG
+
+__all__ = [
+    "partition_fork_join",
+    "uniline_gadget",
+    "partition_platform",
+    "solve_2partition_via_mapping",
+]
+
+
+def partition_fork_join(values: Sequence[float]) -> SPG:
+    """The Proposition-1 gadget for a 2-PARTITION instance ``values``.
+
+    A fork-join with one branch stage per value; source and sink have zero
+    computation cost and all communications are free.  A DAG-partition
+    mapping onto two unit-speed cores with period ``sum(values) / 2``
+    exists iff ``values`` admits a perfect 2-partition.
+    """
+    if not values or any(v <= 0 for v in values):
+        raise ValueError("2-PARTITION values must be positive")
+    return fork_join(len(values), list(values))
+
+
+def partition_platform(r: int = 2) -> CMPGrid:
+    """A 1 x ``r`` single-speed unit-power platform (the reduction target).
+
+    Speed 1 cycle/s, so stage weights are directly times; bandwidth is
+    effectively unlimited (the gadget has no communications).
+    """
+    model = PowerModel(
+        speeds=(1.0,),
+        dyn_power=(1.0,),
+        comp_leak=0.0,
+        comm_leak=0.0,
+        e_bit=0.0,
+        bandwidth=1e30,
+    )
+    return CMPGrid.uni_line(r, model, uni_directional=True)
+
+
+def solve_2partition_via_mapping(
+    values: Sequence[float],
+) -> tuple[bool, set[int] | None]:
+    """Decide 2-PARTITION by solving the Proposition-1 mapping instance.
+
+    Returns ``(solvable, subset)`` where ``subset`` contains the indices of
+    a half-sum subset when one exists.  Exponential (it drives the
+    brute-force optimal solver) — intended for small instances and tests.
+    """
+    # Imported here: repro.core imports repro.spg, so a module-level import
+    # would be circular.
+    from repro.core.errors import HeuristicFailure
+    from repro.core.problem import ProblemInstance
+    from repro.exact.brute_force import brute_force_optimal
+
+    g = partition_fork_join(values)
+    total = float(sum(values))
+    problem = ProblemInstance(g, partition_platform(2), total / 2.0)
+    try:
+        mapping, _e = brute_force_optimal(problem)
+    except HeuristicFailure:
+        return False, None
+    clusters = list(mapping.clusters().values())
+    if len(clusters) == 1:
+        # Everything fit on one core: only possible for degenerate inputs.
+        return True, {i - 1 for i in clusters[0] if 1 <= i <= len(values)}
+    first = clusters[0]
+    subset = {i - 1 for i in first if 1 <= i <= len(values)}
+    return True, subset
+
+
+def uniline_gadget(values: Sequence[float], eps: float = 0.25) -> SPG:
+    """The Theorem-2 gadget (Figure 3) for a 2-PARTITION instance.
+
+    The SPG has ``3n + 3`` unit-computation stages: a backbone chain
+    ``In -> A_1 -> ... -> A_{n+1} -> Out`` whose edges carry ``S/2 + eps``
+    bytes, and for each value ``a_i`` a two-stage appendix ``B_i -> C_i``
+    hanging off the backbone: ``A_i -> B_i`` carries ``a_i`` and
+    ``B_i -> C_i`` carries ``S + eps``.  Mapped one-to-one onto a
+    ``1 x (3n + 3)`` bi-directional line with bandwidth ``3S/2 + eps`` and
+    period 1, the B/C appendices must 2-partition around the backbone.
+
+    The construction here mirrors the figure as an SPG: each appendix is a
+    parallel branch between ``A_i`` and ``Out`` (C_i re-joins at the sink
+    with a zero-volume edge), keeping the graph series-parallel while
+    preserving all the volumes that drive the reduction.
+    """
+    n = len(values)
+    if n == 0 or any(v <= 0 for v in values):
+        raise ValueError("2-PARTITION values must be positive")
+    S = float(sum(values))
+    heavy = S + eps
+    backbone = S / 2.0 + eps
+
+    # Stage ids: 0 = In, 1..n+1 = A_1..A_{n+1}, then per value i:
+    # B_i = n + 2 + 2i, C_i = n + 3 + 2i, finally sink Out = 3n + 4 - 1.
+    n_stages = 3 * n + 3
+    weights = [1.0] * n_stages
+    edges: dict[tuple[int, int], float] = {}
+    a = lambda i: 1 + i  # A_{i+1}
+    out = n_stages - 1
+
+    edges[(0, a(0))] = backbone
+    for i in range(n):
+        edges[(a(i), a(i + 1))] = backbone
+    edges[(a(n), out)] = backbone
+    for i in range(n):
+        b = n + 2 + 2 * i
+        c = n + 3 + 2 * i
+        edges[(a(i), b)] = float(values[i])
+        edges[(b, c)] = heavy
+        edges[(c, out)] = 0.0
+    return SPG(weights, None, edges)

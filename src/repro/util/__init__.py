@@ -1,0 +1,23 @@
+"""Small shared utilities: RNG handling, formatting, bitset helpers."""
+
+from repro.util.rng import as_rng, spawn_rng
+from repro.util.fmt import format_table, format_grid
+from repro.util.bitset import (
+    bit,
+    bits_of,
+    popcount,
+    mask_of,
+    iter_bits,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rng",
+    "format_table",
+    "format_grid",
+    "bit",
+    "bits_of",
+    "popcount",
+    "mask_of",
+    "iter_bits",
+]

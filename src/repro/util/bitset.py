@@ -1,0 +1,42 @@
+"""Bitset helpers over plain Python integers.
+
+Node subsets of an SPG (order ideals, clusters) are represented as arbitrary
+precision integers: bit ``i`` set means node ``i`` belongs to the set.  Python
+ints give O(n/64) set operations and hash for memoisation, which is what the
+dynamic programs in :mod:`repro.heuristics` rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+def bit(i: int) -> int:
+    """The singleton bitset ``{i}``."""
+    return 1 << i
+
+
+def mask_of(items: Iterable[int]) -> int:
+    """Bitset containing every index in ``items``."""
+    m = 0
+    for i in items:
+        m |= 1 << i
+    return m
+
+
+def popcount(m: int) -> int:
+    """Number of elements in the bitset ``m``."""
+    return m.bit_count()
+
+
+def iter_bits(m: int) -> Iterator[int]:
+    """Yield the indices present in bitset ``m`` in increasing order."""
+    while m:
+        low = m & -m
+        yield low.bit_length() - 1
+        m ^= low
+
+
+def bits_of(m: int) -> list[int]:
+    """The indices present in bitset ``m``, as a list (increasing order)."""
+    return list(iter_bits(m))

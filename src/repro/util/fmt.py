@@ -1,0 +1,52 @@
+"""Plain-text table and grid rendering used by examples and benchmarks."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as an aligned ASCII table.
+
+    Cells are converted with ``str``; floats are shown with 4 significant
+    digits.  Returns a single multi-line string (no trailing newline).
+    """
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_grid(p: int, q: int, cells: dict[tuple[int, int], str]) -> str:
+    """Render a ``p x q`` grid of short strings (missing cells shown as '.').
+
+    Used to visualise which stages land on which core of the CMP.
+    """
+    width = max([1] + [len(s) for s in cells.values()])
+    rows = []
+    for u in range(p):
+        row = [cells.get((u, v), ".").rjust(width) for v in range(q)]
+        rows.append(" ".join(row))
+    return "\n".join(rows)

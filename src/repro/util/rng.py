@@ -1,0 +1,33 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library (random SPG generation, the Random
+heuristic, weight synthesis for the StreamIt suite) takes either an integer
+seed, ``None`` or a :class:`numpy.random.Generator`.  This module provides the
+single conversion point so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | None | np.random.Generator"
+
+
+def as_rng(seed) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used by experiment runners so that each replicate gets its own stream and
+    results do not depend on evaluation order.
+    """
+    return [np.random.default_rng(s) for s in rng.integers(0, 2**63 - 1, size=n)]

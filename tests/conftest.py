@@ -1,0 +1,66 @@
+"""Shared fixtures: small graphs, grids and fast power models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.cmp import CMPGrid
+from repro.platform.speeds import GHZ, PowerModel, xscale_model
+from repro.spg.build import chain, diamond, split_join
+from repro.spg.graph import SPG
+
+
+@pytest.fixture
+def xscale() -> PowerModel:
+    return xscale_model()
+
+
+@pytest.fixture
+def two_speed_model() -> PowerModel:
+    """A reduced DVFS set for exact solvers (keeps the ILP tiny)."""
+    return PowerModel(
+        speeds=(0.5 * GHZ, 1.0 * GHZ),
+        dyn_power=(0.2, 1.6),
+        comp_leak=0.08,
+        comm_leak=0.0,
+        e_bit=6e-12,
+        bandwidth=16 * 1.2 * GHZ,
+    )
+
+
+@pytest.fixture
+def grid_2x2(xscale) -> CMPGrid:
+    return CMPGrid(2, 2, xscale)
+
+
+@pytest.fixture
+def grid_4x4(xscale) -> CMPGrid:
+    return CMPGrid(4, 4, xscale)
+
+
+@pytest.fixture
+def grid_6x6(xscale) -> CMPGrid:
+    return CMPGrid(6, 6, xscale)
+
+
+@pytest.fixture
+def line_4(xscale) -> CMPGrid:
+    return CMPGrid.uni_line(4, xscale)
+
+
+@pytest.fixture
+def small_diamond() -> SPG:
+    """Diamond with weights sized for sub-second periods on the XScale."""
+    return diamond((4e8, 2e8, 3e8, 1e8), (1e7, 2e7, 3e7, 4e7))
+
+
+@pytest.fixture
+def small_chain() -> SPG:
+    return chain(5, [3e8, 1e8, 2e8, 4e8, 2e8], [1e7] * 4)
+
+
+@pytest.fixture
+def small_splitjoin() -> SPG:
+    return split_join(
+        [2, 1, 1], w_source=1e8, w_sink=1e8, w_branch=2e8, comm=1e7
+    )

@@ -1,0 +1,19 @@
+"""Shared helpers importable from test modules."""
+
+from __future__ import annotations
+
+from repro.spg.graph import SPG
+
+
+def loose_period(spg: SPG, parallelism: float = 8.0) -> float:
+    """A feasible-but-not-trivial period for tests on random graphs.
+
+    At least 1.2x the heaviest stage at top speed (otherwise *no* mapping
+    exists) and at least enough for ``parallelism`` top-speed cores to
+    carry the total work twice over.
+    """
+    s_max = 1e9
+    return max(
+        2.0 * spg.total_work / s_max / parallelism,
+        1.2 * max(spg.weights) / s_max,
+    )

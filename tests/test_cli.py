@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestWorkflows:
+    def test_lists_all_twelve(self):
+        code, text = run_cli("workflows")
+        assert code == 0
+        for name in ("Beamformer", "Serpent", "TDE"):
+            assert name in text
+
+    def test_table1_numbers_present(self):
+        _code, text = run_cli("workflows")
+        assert "57" in text   # Beamformer n
+        assert "111" in text  # Serpent xmax
+
+
+class TestMap:
+    def test_map_chain_workflow(self):
+        code, text = run_cli("map", "-w", "DCT", "-H", "DPA1D", "--seed", "1")
+        assert code == 0
+        assert "energy:" in text
+        assert "stages per core" in text
+
+    def test_explicit_period(self):
+        code, text = run_cli(
+            "map", "-w", "DCT", "-H", "Greedy", "-T", "1.0"
+        )
+        assert code == 0
+        assert "period (Section 6.1.3)" not in text
+
+    def test_failure_exit_code(self):
+        # A hopeless period: every stage needs more than T at top speed.
+        code, text = run_cli(
+            "map", "-w", "DCT", "-H", "Greedy", "-T", "1e-6"
+        )
+        assert code == 1
+        assert "FAILED" in text
+
+    def test_random_instance(self):
+        code, text = run_cli(
+            "map", "--random", "12", "-H", "Greedy", "--seed", "3"
+        )
+        assert code == 0
+        assert "energy:" in text
+
+    def test_refine_flag(self):
+        code, text = run_cli(
+            "map", "-w", "DCT", "-H", "Random", "--refine", "--seed", "0"
+        )
+        assert code == 0
+
+    def test_bad_grid_spec(self):
+        with pytest.raises(SystemExit):
+            run_cli("map", "--grid", "4by4")
+
+
+class TestCompare:
+    def test_compare_runs_all(self):
+        code, text = run_cli("compare", "-w", "DCT", "--seed", "0")
+        assert code == 0
+        for h in ("Random", "Greedy", "DPA2D", "DPA1D", "DPA2D1D"):
+            assert h in text
+
+    def test_normalised_column(self):
+        _code, text = run_cli("compare", "-w", "DCT", "--seed", "0")
+        assert "1.000" in text  # the winner
+
+    def test_explicit_period(self):
+        code, text = run_cli(
+            "compare", "-w", "FFT", "-T", "10.0", "--seed", "0"
+        )
+        assert code == 0
+        assert "T = 10" in text
+
+
+class TestExperiment:
+    def test_fig8_subset(self, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        code, text = run_cli(
+            "experiment", "fig8", "--workflows", "7", "--ccr", "1.0",
+            "--csv", str(csv_path),
+        )
+        assert code == 0
+        assert "DCT" in text
+        assert csv_path.exists()
+        assert "workflow,ccr" in csv_path.read_text()
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,134 @@
+"""Unit tests for period and energy evaluation (Sections 3.4-3.5)."""
+
+import pytest
+
+from repro.core.evaluate import (
+    cycle_times,
+    energy,
+    is_period_feasible,
+    max_cycle_time,
+    validate,
+)
+from repro.core.errors import MappingError
+from repro.core.mapping import Mapping
+from repro.core.problem import ProblemInstance
+from repro.platform.speeds import GHZ
+from repro.spg.build import chain
+
+
+@pytest.fixture
+def two_core_mapping(grid_2x2):
+    """chain(2) split over two adjacent cores with explicit numbers."""
+    g = chain(2, [4e8, 6e8], [9.6e9])  # 9.6e9 bytes = 0.5 s on the link
+    return g, Mapping(
+        g, grid_2x2,
+        {0: (0, 0), 1: (0, 1)},
+        {(0, 0): 0.8 * GHZ, (0, 1): 1.0 * GHZ},
+    )
+
+
+class TestCycleTimes:
+    def test_core_cycle_times(self, two_core_mapping):
+        _g, m = two_core_mapping
+        ct = cycle_times(m)
+        assert ct[(0, 0)] == pytest.approx(0.5)   # 4e8 / 0.8 GHz
+        assert ct[(0, 1)] == pytest.approx(0.6)   # 6e8 / 1.0 GHz
+
+    def test_link_cycle_time(self, two_core_mapping):
+        _g, m = two_core_mapping
+        ct = cycle_times(m)
+        assert ct[((0, 0), (0, 1))] == pytest.approx(0.5)  # 9.6e9 / 19.2e9
+
+    def test_max_cycle_time(self, two_core_mapping):
+        _g, m = two_core_mapping
+        assert max_cycle_time(m) == pytest.approx(0.6)
+
+    def test_feasibility_boundary(self, two_core_mapping):
+        _g, m = two_core_mapping
+        assert is_period_feasible(m, 0.6)
+        assert is_period_feasible(m, 1.0)
+        assert not is_period_feasible(m, 0.59)
+
+
+class TestEnergy:
+    def test_breakdown_by_hand(self, two_core_mapping):
+        _g, m = two_core_mapping
+        b = energy(m, period=1.0)
+        # Two active cores leak 0.08 W for 1 s each.
+        assert b.comp_leak == pytest.approx(0.16)
+        # 0.5 s at 0.9 W plus 0.6 s at 1.6 W.
+        assert b.comp_dyn == pytest.approx(0.5 * 0.9 + 0.6 * 1.6)
+        assert b.comm_leak == 0.0
+        # 9.6e9 bytes * 8 bits * 6 pJ over one hop.
+        assert b.comm_dyn == pytest.approx(9.6e9 * 8 * 6e-12)
+        assert b.total == pytest.approx(
+            b.comp_leak + b.comp_dyn + b.comm_dyn
+        )
+
+    def test_convenience_sums(self, two_core_mapping):
+        _g, m = two_core_mapping
+        b = energy(m, period=1.0)
+        assert b.comp == pytest.approx(b.comp_leak + b.comp_dyn)
+        assert b.comm == pytest.approx(b.comm_leak + b.comm_dyn)
+
+    def test_leak_scales_with_period(self, two_core_mapping):
+        _g, m = two_core_mapping
+        assert energy(m, 2.0).comp_leak == pytest.approx(0.32)
+
+    def test_single_core_no_comm(self, grid_2x2):
+        g = chain(2, [1e8, 1e8], [1e9])
+        m = Mapping(g, grid_2x2, {0: (0, 0), 1: (0, 0)}, {(0, 0): 0.4 * GHZ})
+        b = energy(m, 1.0)
+        assert b.comm_dyn == 0.0
+        assert b.comp_leak == pytest.approx(0.08)
+
+    def test_multi_hop_pays_per_link(self, grid_2x2):
+        g = chain(2, [1e8, 1e8], [1e6])
+        m1 = Mapping(
+            g, grid_2x2, {0: (0, 0), 1: (0, 1)},
+            {(0, 0): 1.0 * GHZ, (0, 1): 1.0 * GHZ},
+        )
+        m2 = Mapping(
+            g, grid_2x2, {0: (0, 0), 1: (1, 1)},
+            {(0, 0): 1.0 * GHZ, (1, 1): 1.0 * GHZ},
+        )
+        assert energy(m2, 1.0).comm_dyn == pytest.approx(
+            2 * energy(m1, 1.0).comm_dyn
+        )
+
+
+class TestValidate:
+    def test_ok(self, two_core_mapping):
+        _g, m = two_core_mapping
+        b = validate(m, 1.0)
+        assert b.total > 0
+
+    def test_period_violation(self, two_core_mapping):
+        _g, m = two_core_mapping
+        with pytest.raises(MappingError, match="period exceeded"):
+            validate(m, 0.55)
+
+    def test_structure_violation(self, grid_2x2):
+        g = chain(2, [1e8, 1e8], [1e6])
+        m = Mapping(
+            g, grid_2x2, {0: (0, 0), 1: (0, 1)},
+            {(0, 0): 1.0 * GHZ},  # missing speed for (0,1)
+        )
+        with pytest.raises(MappingError):
+            validate(m, 1.0)
+
+
+class TestProblemInstance:
+    def test_evaluate(self, two_core_mapping, grid_2x2):
+        g, m = two_core_mapping
+        prob = ProblemInstance(g, grid_2x2, 1.0)
+        assert prob.evaluate(m).total > 0
+
+    def test_scaled(self, small_diamond, grid_2x2):
+        prob = ProblemInstance(small_diamond, grid_2x2, 1.0)
+        assert prob.scaled(0.5).period == 0.5
+        assert prob.scaled(0.5).spg is prob.spg
+
+    def test_bad_period(self, small_diamond, grid_2x2):
+        with pytest.raises(ValueError):
+            ProblemInstance(small_diamond, grid_2x2, 0.0)

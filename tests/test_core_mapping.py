@@ -1,0 +1,186 @@
+"""Unit tests for the Mapping object and its structural validation."""
+
+import pytest
+
+from repro.core.errors import MappingError
+from repro.core.mapping import Mapping
+from repro.platform.speeds import GHZ
+from repro.spg.build import chain, diamond
+
+
+def make(spg, grid, alloc, speeds, paths=None):
+    return Mapping(spg, grid, alloc, speeds, paths or {})
+
+
+class TestViews:
+    def test_clusters(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 0), 2: (0, 1), 3: (0, 1)},
+            {(0, 0): 1.0 * GHZ, (0, 1): 1.0 * GHZ},
+        )
+        assert m.clusters() == {(0, 0): [0, 1], (0, 1): [2, 3]}
+
+    def test_active_cores(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {i: (0, 0) for i in range(4)},
+            {(0, 0): 1.0 * GHZ},
+        )
+        assert m.active_cores() == {(0, 0)}
+
+    def test_core_work(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 1), 2: (0, 1), 3: (0, 1)},
+            {(0, 0): 1.0 * GHZ, (0, 1): 1.0 * GHZ},
+        )
+        w = m.core_work()
+        assert w[(0, 0)] == pytest.approx(4e8)
+        assert w[(0, 1)] == pytest.approx(6e8)
+
+    def test_remote_edges(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 0), 2: (0, 0), 3: (0, 1)},
+            {(0, 0): 1.0 * GHZ, (0, 1): 1.0 * GHZ},
+        )
+        assert set(m.remote_edges()) == {(1, 3), (2, 3)}
+
+    def test_default_xy_paths(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (1, 1), 2: (0, 0), 3: (1, 1)},
+            {(0, 0): 1.0 * GHZ, (1, 1): 1.0 * GHZ},
+        )
+        assert m.paths[(0, 1)] == [(0, 0), (0, 1), (1, 1)]
+
+    def test_link_traffic_accumulates(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 0), 2: (0, 0), 3: (0, 1)},
+            {(0, 0): 1.0 * GHZ, (0, 1): 1.0 * GHZ},
+        )
+        # edges (1,3)=3e7 and (2,3)=4e7 both cross ((0,0),(0,1)).
+        assert m.link_traffic() == {((0, 0), (0, 1)): pytest.approx(7e7)}
+
+    def test_hops(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (1, 1), 2: (0, 0), 3: (1, 1)},
+            {(0, 0): 1.0 * GHZ, (1, 1): 1.0 * GHZ},
+        )
+        # (0,1): 2 hops of 1e7; (2,3): 2 hops of 4e7; (0,2),(1,3) local.
+        assert m.hops() == pytest.approx(2e7 + 8e7)
+
+    def test_ascii(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 0), 2: (0, 0), 3: (1, 1)},
+            {(0, 0): 1.0 * GHZ, (1, 1): 1.0 * GHZ},
+        )
+        assert m.ascii() == "3 .\n. 1"
+
+
+class TestStructureValidation:
+    def test_valid(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 0), 2: (0, 0), 3: (0, 1)},
+            {(0, 0): 1.0 * GHZ, (0, 1): 0.15 * GHZ},
+        )
+        m.check_structure()
+        assert m.is_valid_structure()
+
+    def test_missing_stage(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 0), 2: (0, 0)},
+            {(0, 0): 1.0 * GHZ},
+        )
+        with pytest.raises(MappingError, match="cover every stage"):
+            m.check_structure()
+
+    def test_out_of_bounds_core(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 0), 2: (0, 0), 3: (5, 5)},
+            {(0, 0): 1.0 * GHZ, (5, 5): 1.0 * GHZ},
+        )
+        with pytest.raises(MappingError, match="outside the grid"):
+            m.check_structure()
+
+    def test_missing_speed(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {i: (0, 0) for i in range(4)},
+            {},
+        )
+        with pytest.raises(MappingError, match="no speed"):
+            m.check_structure()
+
+    def test_bad_speed_value(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {i: (0, 0) for i in range(4)},
+            {(0, 0): 0.5 * GHZ},  # not an XScale speed
+        )
+        with pytest.raises(MappingError, match="not in the DVFS set"):
+            m.check_structure()
+
+    def test_path_wrong_endpoints(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 0), 2: (0, 0), 3: (0, 1)},
+            {(0, 0): 1.0 * GHZ, (0, 1): 1.0 * GHZ},
+            paths={
+                (1, 3): [(0, 0), (0, 1)],
+                (2, 3): [(1, 0), (1, 1)],  # does not start at alloc[2]
+            },
+        )
+        with pytest.raises(MappingError, match="does not connect"):
+            m.check_structure()
+
+    def test_path_invalid_link(self, small_diamond, grid_2x2):
+        m = make(
+            small_diamond, grid_2x2,
+            {0: (0, 0), 1: (0, 0), 2: (0, 0), 3: (1, 1)},
+            {(0, 0): 1.0 * GHZ, (1, 1): 1.0 * GHZ},
+            paths={(1, 3): [(0, 0), (1, 1)], (2, 3): [(0, 0), (0, 1), (1, 1)]},
+        )
+        with pytest.raises(MappingError):
+            m.check_structure()
+
+    def test_cyclic_partition_rejected(self, grid_2x2):
+        g = chain(4, [1e8] * 4, [1e6] * 3)
+        m = make(
+            g, grid_2x2,
+            {0: (0, 0), 1: (0, 1), 2: (0, 0), 3: (0, 1)},
+            {(0, 0): 1.0 * GHZ, (0, 1): 1.0 * GHZ},
+        )
+        with pytest.raises(MappingError, match="not a DAG-partition"):
+            m.check_structure()
+
+
+class TestFromClusters:
+    def test_assigns_slowest_feasible(self, grid_2x2):
+        g = chain(3, [3e8, 1e8, 1e8], [1e6, 1e6])
+        m = Mapping.from_clusters(
+            g, grid_2x2, {(0, 0): [0], (0, 1): [1, 2]}, period=1.0
+        )
+        assert m.speeds[(0, 0)] == 0.4 * GHZ
+        assert m.speeds[(0, 1)] == 0.4 * GHZ
+
+    def test_duplicate_stage_rejected(self, grid_2x2, small_diamond):
+        with pytest.raises(MappingError, match="two clusters"):
+            Mapping.from_clusters(
+                small_diamond, grid_2x2,
+                {(0, 0): [0, 1], (0, 1): [1, 2, 3]}, period=1.0,
+            )
+
+    def test_infeasible_cluster_rejected(self, grid_2x2):
+        g = chain(3, [3e9, 1e8, 1e8], [1e6, 1e6])  # 3e9 cycles > 1s at 1GHz
+        with pytest.raises(MappingError, match="cannot meet"):
+            Mapping.from_clusters(
+                g, grid_2x2, {(0, 0): [0, 1, 2]}, period=1.0
+            )

@@ -1,0 +1,103 @@
+"""Cross-heuristic dominance properties.
+
+These encode the *provable* relationships between the heuristics, which
+must hold on every instance (unlike the statistical shapes of Section 6):
+
+* DPA1D is optimal over snake clusterings, and DPA2D1D optimises over a
+  strict subset of those (whole-level clusterings), so whenever both
+  complete, ``E(DPA1D) <= E(DPA2D1D)``.
+* No heuristic beats the brute-force optimum (tested at small scale).
+* Refinement never increases energy.
+"""
+
+import pytest
+
+from tests.helpers import loose_period
+
+from repro.core.errors import BudgetExceeded, HeuristicFailure
+from repro.core.evaluate import energy
+from repro.core.problem import ProblemInstance
+from repro.heuristics.dpa1d import dpa1d_mapping
+from repro.heuristics.dpa2d import dpa2d1d_mapping
+from repro.heuristics.refine import refine_mapping
+from repro.platform.cmp import CMPGrid
+from repro.spg.random_gen import random_spg, random_spg_with_elevation
+
+
+class TestDpa1dDominatesDpa2d1d:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dominance_random(self, seed, grid_4x4):
+        g = random_spg(16, rng=seed, ccr=5.0)
+        prob = ProblemInstance(g, grid_4x4, loose_period(g))
+        try:
+            m1 = dpa1d_mapping(prob)
+        except (HeuristicFailure, BudgetExceeded):
+            pytest.skip("DPA1D budget/feasibility")
+        try:
+            m2 = dpa2d1d_mapping(prob)
+        except HeuristicFailure:
+            return  # DPA2D1D failing while DPA1D succeeds is consistent
+        e1 = energy(m1, prob.period).total
+        e2 = energy(m2, prob.period).total
+        assert e1 <= e2 * (1 + 1e-9)
+
+    @pytest.mark.parametrize("elev", [2, 3, 4])
+    def test_dominance_by_elevation(self, elev, grid_4x4):
+        g = random_spg_with_elevation(14, elev, rng=elev, ccr=5.0)
+        prob = ProblemInstance(g, grid_4x4, loose_period(g))
+        try:
+            e1 = energy(dpa1d_mapping(prob), prob.period).total
+            e2 = energy(dpa2d1d_mapping(prob), prob.period).total
+        except (HeuristicFailure, BudgetExceeded):
+            pytest.skip("instance infeasible for one of the DPs")
+        assert e1 <= e2 * (1 + 1e-9)
+
+
+class TestRefinementDominance:
+    @pytest.mark.parametrize("name", ["Random", "Greedy", "DPA2D1D"])
+    def test_refine_never_hurts(self, name, grid_4x4):
+        from repro.heuristics.base import REGISTRY
+
+        g = random_spg(15, rng=2, ccr=5.0)
+        prob = ProblemInstance(g, grid_4x4, loose_period(g))
+        try:
+            base = REGISTRY[name](prob, rng=0)
+        except HeuristicFailure:
+            pytest.skip(f"{name} failed")
+        out = refine_mapping(prob, base, rng=0, sweeps=2)
+        assert (
+            energy(out, prob.period).total
+            <= energy(base, prob.period).total * (1 + 1e-12)
+        )
+
+    def test_refining_dpa1d_on_uniline_gains_nothing(self):
+        """DPA1D is optimal on the uni-directional line: moving any single
+        stage or swapping any clusters cannot reduce energy further when
+        restricted to the same platform."""
+        g = random_spg(10, rng=4, ccr=5.0)
+        grid = CMPGrid.uni_line(4, uni_directional=True)
+        prob = ProblemInstance(g, grid, loose_period(g, parallelism=3))
+        try:
+            base = dpa1d_mapping(prob)
+        except HeuristicFailure:
+            pytest.skip("infeasible")
+        out = refine_mapping(prob, base, rng=0, sweeps=3)
+        assert energy(out, prob.period).total == pytest.approx(
+            energy(base, prob.period).total, rel=1e-9
+        )
+
+
+class TestGridMonotonicity:
+    def test_bigger_grid_never_worse_for_dpa1d(self):
+        """More snake cores can only help the 1D DP (same budgets)."""
+        g = random_spg(12, rng=7, ccr=5.0)
+        T = loose_period(g, parallelism=4)
+        energies = []
+        for r in (2, 4, 8):
+            prob = ProblemInstance(g, CMPGrid(1, r), T)
+            try:
+                energies.append(energy(dpa1d_mapping(prob), T).total)
+            except HeuristicFailure:
+                energies.append(float("inf"))
+        assert energies[0] >= energies[1] * (1 - 1e-9)
+        assert energies[1] >= energies[2] * (1 - 1e-9)

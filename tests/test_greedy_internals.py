@@ -1,0 +1,85 @@
+"""White-box tests for the Greedy heuristic's construction rules."""
+
+import pytest
+
+from repro.core.problem import ProblemInstance
+from repro.heuristics.greedy import _downgrade, _greedy_at_speed
+from repro.platform.speeds import GHZ
+from repro.spg.build import chain, split_join
+from repro.spg.graph import sp_edge, series, parallel
+
+
+class TestGreedyAtSpeed:
+    def test_source_starts_at_origin(self, grid_4x4):
+        g = chain(5, [2e8] * 5, [1e5] * 4)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        assert m is not None
+        assert m.alloc[0] == (0, 0)
+
+    def test_absorbs_until_capacity(self, grid_4x4):
+        g = chain(5, [2e8] * 5, [1e5] * 4)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        # 5 stages of 2e8 at 1 GHz, T=1: all five fit on one core.
+        assert len(m.active_cores()) == 1
+
+    def test_spills_to_neighbours(self, grid_4x4):
+        g = chain(6, [4e8] * 6, [1e5] * 5)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        assert m is not None
+        # 2 stages per core at most: at least 3 cores.
+        assert len(m.active_cores()) >= 3
+        # All cores on a monotone right/down frontier from (0, 0).
+        for core in m.active_cores():
+            assert core[0] + core[1] <= 6
+
+    def test_infeasible_speed_returns_none(self, grid_4x4):
+        g = chain(3, [5e8] * 3, [1e5] * 2)
+        # At 0.15 GHz a 5e8-cycle stage takes 3.3s > T=1: nothing fits.
+        assert _greedy_at_speed(
+            ProblemInstance(g, grid_4x4, 1.0), 0.15 * GHZ
+        ) is None
+
+    def test_forward_balances_comm(self, grid_4x4):
+        # A fork with four heavy branches: the two frontier neighbours
+        # should each receive some of them.
+        g = split_join([1] * 4, w_source=1e8, w_sink=1e8, w_branch=8e8,
+                       comm=1e6)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 0.9), 1.0 * GHZ)
+        assert m is not None
+        branch_cores = {m.alloc[i] for i in (1, 2, 3, 4)}
+        assert len(branch_cores) >= 4  # one heavy branch per core
+
+    def test_all_stages_assigned(self, grid_4x4):
+        g = split_join([2, 3, 1], w_source=1e8, w_sink=1e8, w_branch=2e8,
+                       comm=1e6)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        assert m is not None
+        assert sorted(m.alloc) == list(range(g.n))
+
+    def test_quotient_stays_acyclic(self, grid_4x4):
+        # Nested split-joins exercise the partial-quotient check.
+        inner = split_join([1, 1], w_branch=1e8)
+        g = parallel(series(inner, sp_edge(1e8, 1e8, 1e5)),
+                     series(sp_edge(1e8, 1e8, 1e5), sp_edge(0, 1e8, 1e5)),
+                     merge="first")
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        if m is not None:
+            assert m.is_valid_structure()
+
+
+class TestDowngrade:
+    def test_downgrade_lowers_speeds(self, grid_4x4):
+        g = chain(4, [1e8] * 4, [1e5] * 3)
+        prob = ProblemInstance(g, grid_4x4, 1.0)
+        m = _greedy_at_speed(prob, 1.0 * GHZ)
+        # _greedy_at_speed already downgrades; verify the invariant.
+        for core, work in m.core_work().items():
+            s = m.speeds[core]
+            assert s == prob.grid.model.best_feasible(work, 1.0)
+
+    def test_downgrade_preserves_alloc(self, grid_4x4):
+        g = chain(4, [1e8] * 4, [1e5] * 3)
+        prob = ProblemInstance(g, grid_4x4, 1.0)
+        m = _greedy_at_speed(prob, 1.0 * GHZ)
+        again = _downgrade(prob, m)
+        assert again.alloc == m.alloc

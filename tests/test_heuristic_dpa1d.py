@@ -1,0 +1,157 @@
+"""Tests for DPA1D: optimality on uni-lines, budgets, snake mapping."""
+
+import pytest
+
+from repro.core.errors import BudgetExceeded, HeuristicFailure
+from repro.core.evaluate import energy, validate
+from repro.core.problem import ProblemInstance
+from repro.exact.brute_force import brute_force_optimal
+from repro.heuristics.dpa1d import dpa1d_mapping, solve_uniline
+from repro.platform.cmp import CMPGrid
+from repro.spg.build import chain, diamond, split_join
+from repro.spg.random_gen import random_spg
+
+
+class TestOptimalityOnUniline:
+    """Theorem 1: the DP is optimal on a uni-directional uni-line CMP."""
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_chain_matches_brute_force(self, small_chain, r):
+        prob = ProblemInstance(
+            small_chain, CMPGrid.uni_line(r, uni_directional=True), 0.8
+        )
+        try:
+            _bf, bf_e = brute_force_optimal(prob)
+        except HeuristicFailure:
+            with pytest.raises(HeuristicFailure):
+                solve_uniline(prob, r)
+            return
+        e, _cl, _sp = solve_uniline(prob, r)
+        assert e == pytest.approx(bf_e, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_spg_matches_brute_force(self, seed):
+        g = random_spg(6, rng=seed, ccr=1.0)
+        T = 2.0 * g.total_work / 1e9 / 3
+        prob = ProblemInstance(
+            g, CMPGrid.uni_line(3, uni_directional=True), T
+        )
+        try:
+            _bf, bf_e = brute_force_optimal(prob)
+        except HeuristicFailure:
+            bf_e = None
+        try:
+            e, _cl, _sp = solve_uniline(prob, 3)
+        except HeuristicFailure:
+            e = None
+        if bf_e is None:
+            assert e is None
+        else:
+            assert e is not None
+            assert e == pytest.approx(bf_e, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_never_beats_bidirectional_brute_force(self, seed):
+        """On a bi-directional line the DP is only an upper bound."""
+        g = random_spg(6, rng=seed, ccr=1.0)
+        T = 2.0 * g.total_work / 1e9 / 3
+        prob = ProblemInstance(g, CMPGrid.uni_line(3), T)
+        try:
+            _bf, bf_e = brute_force_optimal(prob)
+        except HeuristicFailure:
+            return
+        try:
+            e, _cl, _sp = solve_uniline(prob, 3)
+        except HeuristicFailure:
+            return
+        assert e >= bf_e * (1 - 1e-9)
+
+    def test_diamond_tight_period(self, small_diamond):
+        # A period forcing the two branches apart.
+        prob = ProblemInstance(
+            small_diamond, CMPGrid.uni_line(4, uni_directional=True), 0.45
+        )
+        e, clusters, _ = solve_uniline(prob, 4)
+        _bf, bf_e = brute_force_optimal(prob)
+        assert e == pytest.approx(bf_e, rel=1e-9)
+        # Each cluster meets the period at top speed.
+        for cl in clusters:
+            assert sum(small_diamond.weights[i] for i in cl) <= 0.45 * 1e9 * (1 + 1e-9)
+
+
+class TestMappingProperties:
+    def test_mapping_is_valid(self, small_chain, grid_2x2):
+        prob = ProblemInstance(small_chain, grid_2x2, 0.8)
+        m = dpa1d_mapping(prob)
+        validate(m, prob.period)  # does not raise
+
+    def test_clusters_in_snake_order(self, small_chain, grid_2x2):
+        prob = ProblemInstance(small_chain, grid_2x2, 0.8)
+        m = dpa1d_mapping(prob)
+        # Snake order on 2x2: (0,0), (0,1), (1,1), (1,0).
+        order = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        pos = {c: k for k, c in enumerate(order)}
+        for (i, j) in small_chain.edges:
+            assert pos[m.alloc[i]] <= pos[m.alloc[j]]
+
+    def test_paths_follow_snake(self, small_chain, grid_4x4):
+        prob = ProblemInstance(small_chain, grid_4x4, 0.5)
+        m = dpa1d_mapping(prob)
+        for (i, j), path in m.paths.items():
+            grid_4x4.validate_path(path)
+
+    def test_energy_matches_evaluator(self, small_chain, grid_2x2):
+        """The DP's internal energy must equal the evaluator's energy."""
+        prob = ProblemInstance(small_chain, grid_2x2, 0.8)
+        e, _cl, _sp = solve_uniline(prob, 4)
+        m = dpa1d_mapping(prob)
+        assert energy(m, prob.period).total == pytest.approx(e, rel=1e-9)
+
+
+class TestFailureModes:
+    def test_budget_failure_on_high_elevation(self):
+        g = split_join([1] * 14, w_source=1e8, w_sink=1e8, w_branch=1e8,
+                       comm=1e4)
+        prob = ProblemInstance(g, CMPGrid(4, 4), 1.0)
+        with pytest.raises(BudgetExceeded):
+            dpa1d_mapping(prob, ideal_budget=1000)
+
+    def test_transition_budget(self, small_chain, grid_4x4):
+        prob = ProblemInstance(small_chain, grid_4x4, 0.8)
+        with pytest.raises(BudgetExceeded):
+            dpa1d_mapping(prob, transition_budget=2)
+
+    def test_infeasible_period(self, small_chain, grid_2x2):
+        # Largest stage is 4e8 cycles: needs T >= 0.4 at 1 GHz.
+        prob = ProblemInstance(small_chain, grid_2x2, 0.1)
+        with pytest.raises(HeuristicFailure):
+            dpa1d_mapping(prob)
+
+    def test_bandwidth_infeasible(self, grid_2x2):
+        # One edge bigger than BW * T must cross a link on a 2-core need.
+        g = chain(2, [5e8, 5e8], [1e12])
+        prob = ProblemInstance(g, grid_2x2, 0.6)
+        with pytest.raises(HeuristicFailure):
+            dpa1d_mapping(prob)
+
+    def test_single_core_when_it_fits(self, grid_2x2):
+        # Loose period: everything on one core at low speed is optimal.
+        g = chain(3, [1e7, 1e7, 1e7], [1e3, 1e3])
+        prob = ProblemInstance(g, grid_2x2, 1.0)
+        m = dpa1d_mapping(prob)
+        assert len(m.active_cores()) == 1
+
+
+class TestDiamondClustering:
+    def test_loose_period_single_cluster(self, small_diamond):
+        prob = ProblemInstance(small_diamond, CMPGrid.uni_line(4), 10.0)
+        _e, clusters, speeds = solve_uniline(prob, 4)
+        assert len(clusters) == 1
+        assert speeds[0] == 0.4e9  # best_feasible beats 0.15 GHz here
+
+    def test_speeds_feasible(self, small_diamond):
+        prob = ProblemInstance(small_diamond, CMPGrid.uni_line(4), 0.45)
+        _e, clusters, speeds = solve_uniline(prob, 4)
+        for cl, s in zip(clusters, speeds):
+            work = sum(small_diamond.weights[i] for i in cl)
+            assert work / s <= 0.45 * (1 + 1e-9)

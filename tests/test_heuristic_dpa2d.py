@@ -1,0 +1,139 @@
+"""Tests for DPA2D (Section 5.3) and DPA2D1D (Section 5.4)."""
+
+import pytest
+
+from tests.helpers import loose_period
+
+from repro.core.errors import HeuristicFailure
+from repro.core.evaluate import energy, validate
+from repro.core.problem import ProblemInstance
+from repro.heuristics.dpa1d import solve_uniline
+from repro.heuristics.dpa2d import (
+    dpa2d1d_mapping,
+    dpa2d_mapping,
+    solve_dpa2d,
+)
+from repro.platform.cmp import CMPGrid
+from repro.spg.build import chain, split_join
+from repro.spg.random_gen import random_spg, random_spg_with_elevation
+
+
+class TestDpa2dMapping:
+    def test_valid_on_splitjoin(self, grid_4x4):
+        g = split_join([2, 2, 2, 2], w_source=1e8, w_sink=1e8,
+                       w_branch=3e8, comm=1e5)
+        T = 0.8
+        m = dpa2d_mapping(ProblemInstance(g, grid_4x4, T))
+        validate(m, T)
+
+    def test_internal_energy_matches_evaluator(self, grid_4x4):
+        g = split_join([2, 2, 2], w_source=1e8, w_sink=1e8,
+                       w_branch=3e8, comm=1e5)
+        T = 0.8
+        prob = ProblemInstance(g, grid_4x4, T)
+        e, _plans = solve_dpa2d(prob, 4, 4)
+        m = dpa2d_mapping(prob)
+        assert energy(m, T).total == pytest.approx(e, rel=1e-9)
+
+    def test_pipeline_wastes_cores(self, grid_4x4):
+        """A linear chain can only enroll one core per column (q cores)."""
+        g = chain(16, [5e8] * 16, [1e5] * 15)
+        T = 0.55  # one stage per core would be needed: 16 > 4 columns
+        with pytest.raises(HeuristicFailure):
+            dpa2d_mapping(ProblemInstance(g, grid_4x4, T))
+
+    def test_pipeline_one_core_per_column(self, grid_4x4):
+        g = chain(8, [5e8] * 8, [1e5] * 7)
+        T = 1.1  # two stages per core fit
+        m = dpa2d_mapping(ProblemInstance(g, grid_4x4, T))
+        validate(m, T)
+        # Each active core sits on a distinct column.
+        cols = [c[1] for c in m.active_cores()]
+        assert len(cols) == len(set(cols))
+
+    def test_high_elevation_uses_column_cores(self, grid_4x4):
+        g = split_join([1] * 8, w_source=1e8, w_sink=1e8, w_branch=3e8,
+                       comm=1e5)
+        T = 0.7
+        m = dpa2d_mapping(ProblemInstance(g, grid_4x4, T))
+        validate(m, T)
+        # The branch level alone carries 2.4e9 cycles: needs >= 4 cores in
+        # its column, plus distinct columns for source and sink.
+        assert len(m.active_cores()) >= 5
+
+    def test_level_too_heavy_for_column_fails(self, grid_4x4):
+        # 8 branches of 6e8 cycles in one level: a column of 4 cores can
+        # hold at most 4 of them at T=0.7, and levels cannot split across
+        # columns -- DPA2D must fail (the paper's "wastes a lot of cores").
+        g = split_join([1] * 8, w_source=1e8, w_sink=1e8, w_branch=6e8,
+                       comm=1e5)
+        with pytest.raises(HeuristicFailure):
+            dpa2d_mapping(ProblemInstance(g, grid_4x4, 0.7))
+
+    def test_respects_columns_left_to_right(self, grid_4x4):
+        g = random_spg_with_elevation(20, 3, rng=2, ccr=10.0)
+        T = loose_period(g)
+        try:
+            m = dpa2d_mapping(ProblemInstance(g, grid_4x4, T))
+        except HeuristicFailure:
+            pytest.skip("instance infeasible for DPA2D")
+        for (i, j) in g.edges:
+            assert m.alloc[i][1] <= m.alloc[j][1]
+
+    def test_infeasible_period(self, grid_2x2):
+        g = chain(3, [2e9] * 3, [1.0] * 2)
+        with pytest.raises(HeuristicFailure):
+            dpa2d_mapping(ProblemInstance(g, grid_2x2, 1.0))
+
+
+class TestDpa2d1d:
+    def test_valid_mapping(self, grid_4x4):
+        g = chain(8, [5e8] * 8, [1e5] * 7)
+        T = 1.1
+        m = dpa2d1d_mapping(ProblemInstance(g, grid_4x4, T))
+        validate(m, T)
+
+    def test_uses_whole_snake(self, grid_4x4):
+        """Unlike DPA2D, the 1D variant can use all 16 cores on a chain."""
+        g = chain(16, [5e8] * 16, [1e5] * 15)
+        T = 0.55
+        m = dpa2d1d_mapping(ProblemInstance(g, grid_4x4, T))
+        validate(m, T)
+        assert len(m.active_cores()) == 16
+
+    def test_level_granularity_vs_dpa1d(self, grid_4x4):
+        """DPA2D1D's clusters are whole levels: never better than DPA1D."""
+        g = random_spg(14, rng=9, ccr=10.0)
+        T = loose_period(g)
+        prob = ProblemInstance(g, grid_4x4, T)
+        try:
+            e1d, _c, _s = solve_uniline(prob, 16)
+            m = dpa2d1d_mapping(prob)
+        except HeuristicFailure:
+            pytest.skip("instance infeasible")
+        assert energy(m, T).total >= e1d * (1 - 1e-9)
+
+    def test_chain_equals_dpa1d(self, grid_4x4):
+        """On a chain, level granularity = stage granularity: same optimum."""
+        g = chain(10, [3e8] * 10, [1e5] * 9)
+        T = 0.7
+        prob = ProblemInstance(g, grid_4x4, T)
+        e1d, _c, _s = solve_uniline(prob, 16)
+        m = dpa2d1d_mapping(prob)
+        assert energy(m, T).total == pytest.approx(e1d, rel=1e-9)
+
+    def test_snake_paths_valid(self, grid_4x4):
+        g = chain(10, [3e8] * 10, [1e5] * 9)
+        m = dpa2d1d_mapping(ProblemInstance(g, grid_4x4, 0.7))
+        for path in m.paths.values():
+            grid_4x4.validate_path(path)
+
+
+class TestVirtualGridEquivalence:
+    def test_solver_on_line_matches_mapping_energy(self, grid_4x4):
+        g = chain(10, [3e8] * 10, [1e5] * 9)
+        T = 0.7
+        prob = ProblemInstance(g, grid_4x4, T)
+        e, _plans = solve_dpa2d(prob, 1, 16)
+        m = dpa2d1d_mapping(prob)
+        assert energy(m, T).total == pytest.approx(e, rel=1e-9)

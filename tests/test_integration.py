@@ -1,0 +1,118 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise the public API exactly the way the experiment harness and a
+downstream user would: build a workflow, choose a period, run every
+heuristic, and independently re-validate everything.
+"""
+
+import pytest
+
+from repro import (
+    CMPGrid,
+    PAPER_ORDER,
+    ProblemInstance,
+    choose_period,
+    random_spg_with_elevation,
+    run_all,
+    streamit_workflow,
+    validate,
+)
+from repro.exact import brute_force_optimal
+from repro.experiments.runner import InstanceRecord, normalized_energy
+
+
+class TestStreamItEndToEnd:
+    @pytest.fixture(scope="class", params=[7, 10, 12], ids=["DCT", "MPEG2", "TDE"])
+    def instance(self, request):
+        app = streamit_workflow(request.param)
+        grid = CMPGrid(4, 4)
+        choice = choose_period(app, grid, rng=0)
+        return app, grid, choice
+
+    def test_at_least_one_heuristic_succeeds(self, instance):
+        _app, _grid, choice = instance
+        assert choice.successes >= 1
+
+    def test_all_successful_mappings_valid(self, instance):
+        _app, _grid, choice = instance
+        for res in choice.results.values():
+            if res.ok:
+                validate(res.mapping, choice.period)
+
+    def test_every_stage_mapped_once(self, instance):
+        app, _grid, choice = instance
+        for res in choice.results.values():
+            if res.ok:
+                assert sorted(res.mapping.alloc) == list(range(app.n))
+
+    def test_energies_reported_consistently(self, instance):
+        _app, _grid, choice = instance
+        for res in choice.results.values():
+            if res.ok:
+                again = validate(res.mapping, choice.period)
+                assert again.total == pytest.approx(res.energy.total)
+
+    def test_normalization(self, instance):
+        _app, _grid, choice = instance
+        rec = InstanceRecord("x", choice.period, choice.results)
+        norm = normalized_energy(rec)
+        finite = [v for v in norm.values() if v != float("inf")]
+        assert min(finite) == pytest.approx(1.0)
+
+
+class TestCrossHeuristicConsistency:
+    def test_dpa1d_at_least_as_good_on_chains(self):
+        """For pipeline graphs DPA1D is optimal among the heuristics."""
+        app = streamit_workflow("TDE")  # pure chain
+        grid = CMPGrid(4, 4)
+        choice = choose_period(app, grid, rng=0)
+        res = choice.results
+        if not res["DPA1D"].ok:
+            pytest.skip("DPA1D failed at the chosen period")
+        best_other = min(
+            (r.total_energy for n, r in res.items() if n != "DPA1D"),
+            default=float("inf"),
+        )
+        assert res["DPA1D"].total_energy <= best_other * (1 + 1e-9)
+
+    def test_heuristics_never_beat_brute_force(self, grid_2x2):
+        g = random_spg_with_elevation(6, 2, rng=1, ccr=5.0)
+        T = max(1.5 * max(g.weights) / 1e9, g.total_work / 1e9 / 3)
+        prob = ProblemInstance(g, grid_2x2, T)
+        _m, best = brute_force_optimal(prob)
+        for name, res in run_all(prob, rng=0).items():
+            if res.ok:
+                assert res.total_energy >= best * (1 - 1e-9), name
+
+
+class TestElevationShape:
+    """The paper's headline qualitative result on specialisation."""
+
+    def test_dpa2d_succeeds_and_beats_random_on_fat_graph(self):
+        g = random_spg_with_elevation(30, 8, rng=4, ccr=10.0)
+        grid = CMPGrid(4, 4)
+        choice = choose_period(g, grid, rng=0)
+        res = choice.results
+        assert res["DPA2D"].ok
+        if res["Random"].ok:
+            assert res["DPA2D"].total_energy <= res["Random"].total_energy
+
+    def test_dpa1d_wins_when_it_completes(self):
+        """When the ideal lattice fits the budget, DPA1D's snake optimum is
+        hard to beat (the paper: best or near-best wherever it finishes)."""
+        g = random_spg_with_elevation(30, 8, rng=4, ccr=10.0)
+        grid = CMPGrid(4, 4)
+        choice = choose_period(g, grid, rng=0)
+        res = choice.results
+        if not res["DPA1D"].ok:
+            pytest.skip("budget exhausted on this seed")
+        others = [r.total_energy for n, r in res.items() if n != "DPA1D" and r.ok]
+        assert res["DPA1D"].total_energy <= min(others) * 1.05
+
+    def test_pipeline_dpa2d_uses_at_most_q_cores(self):
+        app = streamit_workflow("FFT")  # chain of 17
+        grid = CMPGrid(4, 4)
+        choice = choose_period(app, grid, rng=0)
+        res = choice.results["DPA2D"]
+        if res.ok:
+            assert len(res.mapping.active_cores()) <= grid.q

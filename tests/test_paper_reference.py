@@ -1,0 +1,59 @@
+"""Tests for the transcribed paper reference tables."""
+
+import pytest
+
+from repro.experiments.paper_reference import (
+    PAPER_TABLE2_FAILURES,
+    PAPER_TABLE3_FAILURES,
+    PAPER_TABLE3_INSTANCES,
+    table2_row,
+    table3_row,
+)
+from repro.heuristics.base import PAPER_ORDER
+
+
+class TestTable2:
+    def test_rows_cover_both_grids(self):
+        assert set(PAPER_TABLE2_FAILURES) == {"4x4", "6x6"}
+
+    def test_dpa1d_worst_on_both(self):
+        for grid in ("4x4", "6x6"):
+            row = PAPER_TABLE2_FAILURES[grid]
+            assert row["DPA1D"] == max(row.values())
+
+    def test_random_greedy_never_fail_on_6x6(self):
+        row = PAPER_TABLE2_FAILURES["6x6"]
+        assert row["Random"] == 0 and row["Greedy"] == 0
+
+    def test_row_accessor_order(self):
+        assert table2_row("4x4") == [5, 4, 16, 20, 16]
+
+    def test_unknown_grid(self):
+        with pytest.raises(KeyError):
+            table2_row("8x8")
+
+
+class TestTable3:
+    def test_ccrs(self):
+        assert set(PAPER_TABLE3_FAILURES) == {10.0, 1.0, 0.1}
+
+    def test_counts_within_instance_bound(self):
+        for row in PAPER_TABLE3_FAILURES.values():
+            assert all(0 <= v <= PAPER_TABLE3_INSTANCES for v in row.values())
+
+    def test_dpa1d_dominates_failures(self):
+        for row in PAPER_TABLE3_FAILURES.values():
+            assert row["DPA1D"] == max(row.values())
+
+    def test_comm_heavy_hurts_dpa2d1d(self):
+        assert (
+            PAPER_TABLE3_FAILURES[0.1]["DPA2D1D"]
+            > 100 * PAPER_TABLE3_FAILURES[10.0]["DPA2D1D"]
+        )
+
+    def test_row_accessor(self):
+        assert table3_row(1.0) == [58, 56, 156, 1520, 4]
+
+    def test_order_matches_registry(self):
+        for row in PAPER_TABLE3_FAILURES.values():
+            assert tuple(row) == PAPER_ORDER

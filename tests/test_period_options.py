@@ -1,0 +1,73 @@
+"""Tests for chooser options plumbing and instance-level edge cases."""
+
+import pytest
+
+from repro.core.problem import ProblemInstance
+from repro.experiments.period import choose_period, run_all
+from repro.platform.cmp import CMPGrid
+from repro.spg.build import chain, split_join
+
+
+class TestOptionsPlumbing:
+    def test_per_heuristic_options(self, grid_4x4):
+        """A tiny DPA1D ideal budget must be honoured through run_all."""
+        g = split_join([1] * 10, w_source=1e8, w_sink=1e8, w_branch=1e8,
+                       comm=1e3)
+        prob = ProblemInstance(g, grid_4x4, 2.0)
+        res = run_all(
+            prob,
+            heuristics=("DPA1D",),
+            rng=0,
+            options={"DPA1D": {"ideal_budget": 50}},
+        )
+        assert not res["DPA1D"].ok
+        assert "admissible" in res["DPA1D"].failure
+
+    def test_chooser_forwards_options(self, grid_4x4):
+        g = split_join([1] * 10, w_source=1e8, w_sink=1e8, w_branch=1e8,
+                       comm=1e3)
+        choice = choose_period(
+            g, grid_4x4, heuristics=("DPA1D", "Greedy"), rng=0,
+            options={"DPA1D": {"ideal_budget": 50}},
+        )
+        assert not choice.results["DPA1D"].ok
+
+    def test_chooser_with_single_heuristic(self, grid_4x4):
+        g = chain(5, [1e8] * 5, [1e4] * 4)
+        choice = choose_period(g, grid_4x4, heuristics=("Greedy",), rng=0)
+        assert choice.results["Greedy"].ok
+
+    def test_custom_start_and_factor(self, grid_4x4):
+        g = chain(5, [1e8] * 5, [1e4] * 4)
+        c2 = choose_period(g, grid_4x4, heuristics=("Greedy",),
+                           start=2.0, factor=2.0, rng=0)
+        # With factor 2 the retained period is within a factor 2 of the
+        # all-fail point, hence tighter than the factor-10 choice.
+        c10 = choose_period(g, grid_4x4, heuristics=("Greedy",),
+                            start=2.0, factor=10.0, rng=0)
+        assert c2.period <= c10.period * (1 + 1e-9)
+
+    def test_rng_controls_heuristic_streams(self, grid_4x4):
+        g = chain(5, [1e8] * 5, [1e4] * 4)
+        prob = ProblemInstance(g, grid_4x4, 1.0)
+        a = run_all(prob, heuristics=("Random",), rng=5)["Random"]
+        b = run_all(prob, heuristics=("Random",), rng=5)["Random"]
+        assert a.ok and b.ok
+        assert a.mapping.alloc == b.mapping.alloc
+
+
+class TestPeriodChoiceObject:
+    def test_successes_property(self, grid_4x4):
+        g = chain(5, [1e8] * 5, [1e4] * 4)
+        choice = choose_period(g, grid_4x4, rng=0)
+        assert choice.successes == sum(
+            1 for r in choice.results.values() if r.ok
+        )
+
+    def test_chosen_period_is_power_of_ten_times_start(self, grid_4x4):
+        import math
+
+        g = chain(5, [1e8] * 5, [1e4] * 4)
+        choice = choose_period(g, grid_4x4, start=1.0, rng=0)
+        log = math.log10(choice.period)
+        assert abs(log - round(log)) < 1e-9

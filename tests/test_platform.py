@@ -1,0 +1,201 @@
+"""Unit tests for the CMP platform model, power model and routing."""
+
+import pytest
+
+from repro.platform.cmp import CMPGrid
+from repro.platform.routing import manhattan, snake_order, snake_path, xy_path
+from repro.platform.speeds import GHZ, PowerModel, XSCALE, xscale_model
+
+
+class TestPowerModel:
+    def test_xscale_speeds(self):
+        assert XSCALE.speeds == (
+            0.15 * GHZ, 0.4 * GHZ, 0.6 * GHZ, 0.8 * GHZ, 1.0 * GHZ,
+        )
+
+    def test_xscale_powers(self):
+        assert XSCALE.dyn_power == (0.08, 0.17, 0.40, 0.90, 1.60)
+
+    def test_xscale_bandwidth(self):
+        assert XSCALE.bandwidth == pytest.approx(19.2e9)
+
+    def test_s_min_max(self):
+        assert XSCALE.s_min == 0.15 * GHZ
+        assert XSCALE.s_max == 1.0 * GHZ
+
+    def test_power_at(self):
+        assert XSCALE.power_at(0.6 * GHZ) == 0.40
+
+    def test_power_at_unknown(self):
+        with pytest.raises(ValueError):
+            XSCALE.power_at(0.5 * GHZ)
+
+    def test_slowest_feasible_picks_minimum(self):
+        # 0.3 Gcycles in 1 s needs at least 0.3 GHz -> 0.4 GHz.
+        assert XSCALE.slowest_feasible(0.3e9, 1.0) == 0.4 * GHZ
+
+    def test_slowest_feasible_exact_boundary(self):
+        assert XSCALE.slowest_feasible(0.4e9, 1.0) == 0.4 * GHZ
+
+    def test_slowest_feasible_infeasible(self):
+        assert XSCALE.slowest_feasible(2e9, 1.0) is None
+
+    def test_slowest_feasible_zero_work(self):
+        assert XSCALE.slowest_feasible(0.0, 1.0) == XSCALE.s_min
+
+    def test_slowest_feasible_bad_period(self):
+        assert XSCALE.slowest_feasible(1.0, 0.0) is None
+
+    def test_slowest_feasible_float_fuzz(self):
+        # work == T * s must never flip to infeasible due to division.
+        T, s = 0.123456789, XSCALE.s_max
+        assert XSCALE.slowest_feasible(T * s, T) == s
+
+    def test_comp_energy(self):
+        # 1e9 cycles at 1 GHz for T=2: leak 0.08*2 + 1.0 s * 1.6 W.
+        e = XSCALE.comp_energy(1e9, 1.0 * GHZ, 2.0)
+        assert e == pytest.approx(0.16 + 1.6)
+
+    def test_comm_energy(self):
+        # 1 byte = 8 bits at 6 pJ/bit.
+        assert XSCALE.comm_energy(1.0) == pytest.approx(48e-12)
+
+    def test_link_capacity(self):
+        assert XSCALE.link_capacity(0.5) == pytest.approx(9.6e9)
+
+    def test_speed_monotonicity_required(self):
+        with pytest.raises(ValueError):
+            PowerModel((2.0, 1.0), (0.1, 0.2), 0.0, 0.0, 1e-12, 1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PowerModel((1.0,), (0.1, 0.2), 0.0, 0.0, 1e-12, 1.0)
+
+    def test_energy_per_cycle_not_monotone(self):
+        # The XScale table is leakage-dominated at the bottom: 0.4 GHz is
+        # *more* efficient per cycle than 0.15 GHz.  This is why the library
+        # uses best_feasible instead of the paper's slowest-feasible rule.
+        eff = [p / s for p, s in zip(XSCALE.dyn_power, XSCALE.speeds)]
+        assert eff[1] < eff[0]
+        assert eff[1:] == sorted(eff[1:])
+
+    def test_best_feasible_prefers_efficient_speed(self):
+        # Tiny work: slowest feasible is 0.15 GHz but 0.4 GHz costs less.
+        assert XSCALE.slowest_feasible(1e6, 1.0) == 0.15 * GHZ
+        assert XSCALE.best_feasible(1e6, 1.0) == 0.4 * GHZ
+
+    def test_best_feasible_matches_slowest_higher_up(self):
+        # 0.5 Gcycles in 1 s: slowest feasible is 0.6 GHz, and per-cycle
+        # energy is increasing from there on.
+        assert XSCALE.best_feasible(0.5e9, 1.0) == 0.6 * GHZ
+
+    def test_best_feasible_infeasible(self):
+        assert XSCALE.best_feasible(2e9, 1.0) is None
+
+    def test_best_feasible_zero_work(self):
+        assert XSCALE.best_feasible(0.0, 1.0) == XSCALE.s_min
+
+
+class TestGridTopology:
+    def test_core_count(self):
+        assert CMPGrid(3, 4).n_cores == 12
+
+    def test_cores_row_major(self):
+        cores = CMPGrid(2, 2).cores()
+        assert cores == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_neighbors_interior(self):
+        g = CMPGrid(3, 3)
+        assert set(g.neighbors((1, 1))) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_neighbors_corner(self):
+        g = CMPGrid(3, 3)
+        assert set(g.neighbors((0, 0))) == {(0, 1), (1, 0)}
+
+    def test_uni_directional_neighbors(self):
+        g = CMPGrid(1, 4, uni_directional=True)
+        assert g.neighbors((0, 1)) == [(0, 2)]
+        assert g.neighbors((0, 3)) == []
+
+    def test_is_link(self):
+        g = CMPGrid(2, 2)
+        assert g.is_link((0, 0), (0, 1))
+        assert g.is_link((0, 1), (0, 0))
+        assert not g.is_link((0, 0), (1, 1))
+
+    def test_uni_directional_is_link(self):
+        g = CMPGrid(1, 3, uni_directional=True)
+        assert g.is_link((0, 0), (0, 1))
+        assert not g.is_link((0, 1), (0, 0))
+
+    def test_links_count_bidirectional(self):
+        g = CMPGrid(2, 2)
+        assert len(g.links()) == 8  # 4 undirected edges, both directions
+
+    def test_links_count_uniline(self):
+        g = CMPGrid.uni_line(4, uni_directional=True)
+        assert len(g.links()) == 3
+
+    def test_validate_path_ok(self):
+        g = CMPGrid(2, 2)
+        g.validate_path([(0, 0), (0, 1), (1, 1)])
+
+    def test_validate_path_bad_hop(self):
+        g = CMPGrid(2, 2)
+        with pytest.raises(ValueError):
+            g.validate_path([(0, 0), (1, 1)])
+
+    def test_validate_path_too_short(self):
+        with pytest.raises(ValueError):
+            CMPGrid(2, 2).validate_path([(0, 0)])
+
+    def test_square_constructor(self):
+        g = CMPGrid.square(5)
+        assert (g.p, g.q) == (5, 5)
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            CMPGrid(0, 3)
+
+
+class TestRouting:
+    def test_manhattan(self):
+        assert manhattan((0, 0), (2, 3)) == 5
+
+    def test_xy_path_same_core(self):
+        assert xy_path((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_xy_path_horizontal_first(self):
+        path = xy_path((0, 0), (2, 2))
+        assert path == [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+
+    def test_xy_path_backwards(self):
+        path = xy_path((2, 2), (0, 0))
+        assert path == [(2, 2), (2, 1), (2, 0), (1, 0), (0, 0)]
+
+    def test_xy_path_length(self):
+        assert len(xy_path((0, 0), (3, 2))) == manhattan((0, 0), (3, 2)) + 1
+
+    def test_snake_order_2x3(self):
+        assert snake_order(2, 3) == [
+            (0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0),
+        ]
+
+    def test_snake_adjacent(self):
+        order = snake_order(4, 4)
+        for a, b in zip(order, order[1:]):
+            assert manhattan(a, b) == 1
+
+    def test_snake_covers_all(self):
+        order = snake_order(3, 5)
+        assert len(set(order)) == 15
+
+    def test_snake_path(self):
+        g = CMPGrid(2, 2)
+        path = snake_path(g, 0, 3)
+        assert path == [(0, 0), (0, 1), (1, 1), (1, 0)]
+        g.validate_path(path)
+
+    def test_snake_path_bounds(self):
+        with pytest.raises(ValueError):
+            snake_path(CMPGrid(2, 2), 2, 2)

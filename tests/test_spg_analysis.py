@@ -1,0 +1,127 @@
+"""Unit tests for SPG structural analysis."""
+
+import pytest
+
+from repro.spg.analysis import (
+    ancestor_masks,
+    convex_closure_ok,
+    cut_volume,
+    descendant_masks,
+    is_series_parallel,
+    out_cut_edges,
+)
+from repro.spg.build import chain, diamond, split_join
+from repro.spg.graph import SPG, sp_edge
+from repro.util.bitset import mask_of
+
+
+class TestReachabilityMasks:
+    def test_chain_descendants(self):
+        g = chain(4)
+        desc = descendant_masks(g)
+        assert desc[0] == mask_of([1, 2, 3])
+        assert desc[3] == 0
+
+    def test_chain_ancestors(self):
+        g = chain(4)
+        anc = ancestor_masks(g)
+        assert anc[0] == 0
+        assert anc[3] == mask_of([0, 1, 2])
+
+    def test_diamond(self):
+        g = diamond()
+        desc = descendant_masks(g)
+        assert desc[0] == mask_of([1, 2, 3])
+        assert desc[1] == mask_of([3])
+        anc = ancestor_masks(g)
+        assert anc[3] == mask_of([0, 1, 2])
+        assert anc[1] == mask_of([0])
+
+    def test_masks_are_duals(self):
+        g = split_join([2, 3, 1])
+        desc = descendant_masks(g)
+        anc = ancestor_masks(g)
+        for i in range(g.n):
+            for j in range(g.n):
+                assert bool((desc[i] >> j) & 1) == bool((anc[j] >> i) & 1)
+
+
+class TestCuts:
+    def test_chain_prefix_cut(self):
+        g = chain(4, 1.0, [10.0, 20.0, 30.0])
+        assert cut_volume(g, mask_of([0])) == 10.0
+        assert cut_volume(g, mask_of([0, 1])) == 20.0
+
+    def test_diamond_cut(self):
+        g = diamond((1, 1, 1, 1), (10, 20, 30, 40))
+        # source alone: both fork edges leave.
+        assert cut_volume(g, mask_of([0])) == 30.0
+
+    def test_full_set_cut_zero(self):
+        g = diamond()
+        assert cut_volume(g, mask_of(range(4))) == 0.0
+
+    def test_out_cut_edges(self):
+        g = chain(3, 1.0, [5.0, 6.0])
+        assert out_cut_edges(g, mask_of([0])) == [(0, 1, 5.0)]
+
+
+class TestSeriesParallelRecognition:
+    def test_chain_is_sp(self):
+        assert is_series_parallel(chain(6))
+
+    def test_diamond_is_sp(self):
+        assert is_series_parallel(diamond())
+
+    def test_splitjoin_is_sp(self):
+        assert is_series_parallel(split_join([3, 1, 2]))
+
+    def test_edge_is_sp(self):
+        assert is_series_parallel(sp_edge(1, 1, 1))
+
+    def test_crossing_dag_is_not_sp(self):
+        # The "N" graph: 0 -> {1, 2}; 1 -> 3; 2 -> {3, 4}; {3,4} -> 5
+        # contains the forbidden N-structure.
+        g = SPG(
+            [1.0] * 6,
+            None,
+            {
+                (0, 1): 1,
+                (0, 2): 1,
+                (1, 3): 1,
+                (2, 3): 1,
+                (2, 4): 1,
+                (3, 5): 1,
+                (4, 5): 1,
+            },
+        )
+        assert not is_series_parallel(g)
+
+    def test_single_node(self):
+        g = SPG([1.0], [(1, 1)], {})
+        assert is_series_parallel(g)
+
+
+class TestConvexity:
+    def test_chain_interval_convex(self):
+        g = chain(5)
+        desc, anc = descendant_masks(g), ancestor_masks(g)
+        assert convex_closure_ok(mask_of([1, 2, 3]), desc, anc, g.n)
+
+    def test_chain_gap_not_convex(self):
+        g = chain(5)
+        desc, anc = descendant_masks(g), ancestor_masks(g)
+        assert not convex_closure_ok(mask_of([1, 3]), desc, anc, g.n)
+
+    def test_diamond_fork_and_join_need_middle(self):
+        g = diamond()
+        desc, anc = descendant_masks(g), ancestor_masks(g)
+        # {source, sink} without the branches is not convex.
+        assert not convex_closure_ok(mask_of([0, 3]), desc, anc, g.n)
+        assert convex_closure_ok(mask_of([0, 1, 2, 3]), desc, anc, g.n)
+
+    def test_parallel_branches_are_convex(self):
+        g = diamond()
+        desc, anc = descendant_masks(g), ancestor_masks(g)
+        assert convex_closure_ok(mask_of([1]), desc, anc, g.n)
+        assert convex_closure_ok(mask_of([1, 2]), desc, anc, g.n)

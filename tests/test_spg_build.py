@@ -1,0 +1,131 @@
+"""Unit tests for the SPG shape builders."""
+
+import pytest
+
+from repro.spg.build import chain, diamond, fork_join, pipeline_of, split_join
+from repro.spg.graph import sp_edge
+
+
+class TestChain:
+    def test_dims(self):
+        g = chain(7)
+        assert (g.n, g.xmax, g.ymax) == (7, 7, 1)
+
+    def test_min_length(self):
+        with pytest.raises(ValueError):
+            chain(1)
+
+    def test_explicit_weights(self):
+        g = chain(3, [1, 2, 3], [10, 20])
+        assert g.weights == (1.0, 2.0, 3.0)
+        assert g.comm(0, 1) == 10.0
+        assert g.comm(1, 2) == 20.0
+
+    def test_constant_weights(self):
+        g = chain(4, 5.0, 2.0)
+        assert all(w == 5.0 for w in g.weights)
+        assert all(d == 2.0 for d in g.edges.values())
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            chain(3, [1, 2], [1, 1])
+
+    def test_edges_form_a_path(self):
+        g = chain(5)
+        assert sorted(g.edges) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+
+class TestSplitJoin:
+    def test_dims(self):
+        g = split_join([3, 2, 1])
+        assert g.n == 2 + 6
+        assert g.ymax == 3
+        assert g.xmax == 2 + 3
+
+    def test_single_branch(self):
+        g = split_join([4])
+        assert (g.n, g.ymax, g.xmax) == (6, 1, 6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            split_join([])
+
+    def test_rejects_zero_length_branch(self):
+        with pytest.raises(ValueError):
+            split_join([2, 0])
+
+    def test_endpoint_weights(self):
+        g = split_join([1, 1], w_source=5.0, w_sink=7.0, w_branch=2.0)
+        assert g.weights[g.source] == 5.0
+        assert g.weights[g.sink] == 7.0
+        assert g.weights[1] == 2.0
+
+    def test_branch_rows_distinct(self):
+        g = split_join([2, 2, 2])
+        inner_ys = {g.labels[i][1] for i in range(g.n)
+                    if i not in (g.source, g.sink)}
+        assert inner_ys == {1, 2, 3}
+
+
+class TestForkJoin:
+    def test_proposition1_gadget(self):
+        g = fork_join(4, [3.0, 1.0, 4.0, 1.0])
+        assert g.n == 6
+        assert g.ymax == 4
+        assert g.weights[g.source] == 0.0
+        assert g.weights[g.sink] == 0.0
+        assert sorted(g.weights[1:5]) == [1.0, 1.0, 3.0, 4.0]
+
+    def test_scalar_weights(self):
+        g = fork_join(3, 2.0)
+        assert g.weights[1:4] == (2.0, 2.0, 2.0)
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fork_join(3, [1.0, 2.0])
+
+    def test_zero_comm_default(self):
+        g = fork_join(2)
+        assert g.total_comm == 0.0
+
+
+class TestDiamond:
+    def test_dims(self):
+        g = diamond()
+        assert (g.n, g.xmax, g.ymax) == (4, 3, 2)
+
+    def test_weights_placement(self):
+        g = diamond((4, 2, 3, 1), (10, 20, 30, 40))
+        assert g.weights[g.source] == 4.0
+        assert g.weights[g.sink] == 1.0
+        assert sorted([g.weights[1], g.weights[2]]) == [2.0, 3.0]
+
+    def test_edge_count(self):
+        assert len(diamond().edges) == 4
+
+
+class TestPipelineOf:
+    def test_series_chain(self):
+        g = pipeline_of([chain(3), chain(4), chain(2)])
+        assert g.n == 3 + 4 + 2 - 2
+        assert g.xmax == 3 + 4 + 2 - 2
+        assert g.ymax == 1
+
+    def test_single_segment(self):
+        g = pipeline_of([chain(3)])
+        assert g.n == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_of([])
+
+    def test_mixed_segments(self):
+        g = pipeline_of([split_join([1, 1]), chain(3)])
+        assert g.ymax == 2
+        assert g.xmax == 3 + 3 - 1
+
+    def test_junction_weight_uses_first(self):
+        left = sp_edge(1.0, 9.0, 1.0)
+        right = sp_edge(5.0, 1.0, 1.0)
+        g = pipeline_of([left, right])
+        assert g.weights[1] == 9.0

@@ -1,0 +1,76 @@
+"""Tests for the SP decomposition tree."""
+
+import pytest
+
+from repro.spg.build import chain, diamond, split_join
+from repro.spg.decompose import decompose, sp_depth
+from repro.spg.graph import SPG, sp_edge
+from repro.spg.random_gen import random_spg
+
+
+class TestDecompose:
+    def test_edge(self):
+        t = decompose(sp_edge(1, 1, 1))
+        assert t.kind == "edge"
+        assert t.edge == (0, 1)
+
+    def test_chain_is_nested_series(self):
+        t = decompose(chain(4))
+        assert t.kind == "series"
+        assert t.count("parallel") == 0
+        assert t.count("series") == 2  # 3 edges need 2 series nodes
+
+    def test_diamond(self):
+        t = decompose(diamond())
+        assert t.kind == "parallel"
+        assert t.count("series") == 2
+
+    def test_leaves_cover_all_edges(self):
+        g = split_join([2, 1, 3])
+        t = decompose(g)
+        assert sorted(t.leaves()) == sorted(g.edges)
+
+    def test_leaves_cover_random(self):
+        g = random_spg(25, rng=11)
+        t = decompose(g)
+        assert sorted(t.leaves()) == sorted(g.edges)
+
+    def test_endpoints(self):
+        g = split_join([1, 1])
+        t = decompose(g)
+        assert t.source == g.source
+        assert t.sink == g.sink
+
+    def test_non_sp_rejected(self):
+        # The N-graph is not series-parallel.
+        g = SPG(
+            [1.0] * 6,
+            None,
+            {
+                (0, 1): 1, (0, 2): 1, (1, 3): 1, (2, 3): 1,
+                (2, 4): 1, (3, 5): 1, (4, 5): 1,
+            },
+        )
+        with pytest.raises(ValueError, match="not two-terminal"):
+            decompose(g)
+
+    def test_single_stage_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(SPG([1.0], [(1, 1)], {}))
+
+    def test_render_smoke(self):
+        text = decompose(diamond()).render()
+        assert "parallel" in text and "edge" in text
+
+
+class TestSpDepth:
+    def test_edge_depth(self):
+        assert sp_depth(decompose(sp_edge(1, 1, 1))) == 0
+
+    def test_chain_depth_grows(self):
+        assert sp_depth(decompose(chain(3))) == 1
+        assert sp_depth(decompose(chain(5))) >= 2
+
+    def test_splitjoin_depth(self):
+        t = decompose(split_join([2, 2]))
+        assert sp_depth(t) >= 2

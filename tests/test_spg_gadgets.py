@@ -1,0 +1,106 @@
+"""Tests for the Section-4 NP-hardness gadgets."""
+
+import pytest
+
+from repro.core.problem import ProblemInstance
+from repro.exact.brute_force import brute_force_optimal
+from repro.core.errors import HeuristicFailure
+from repro.spg.analysis import is_series_parallel
+from repro.spg.gadgets import (
+    partition_fork_join,
+    partition_platform,
+    solve_2partition_via_mapping,
+    uniline_gadget,
+)
+
+
+class TestPartitionForkJoin:
+    def test_structure(self):
+        g = partition_fork_join([3, 1, 4])
+        assert g.n == 5
+        assert g.ymax == 3
+        assert g.weights[g.source] == 0.0
+        assert g.weights[g.sink] == 0.0
+        assert g.total_comm == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            partition_fork_join([1, 0, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            partition_fork_join([])
+
+
+class TestPartitionPlatform:
+    def test_single_speed(self):
+        grid = partition_platform()
+        assert grid.model.speeds == (1.0,)
+        assert grid.uni_directional
+        assert grid.n_cores == 2
+
+
+class TestReduction:
+    """Proposition 1: MinEnergy on the gadget decides 2-PARTITION."""
+
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            ([1, 1], True),
+            ([2, 1, 1], True),
+            ([3, 1, 1], False),       # odd total
+            ([3, 1, 4, 2, 2], True),  # 12 -> 6 + 6
+            ([5, 1, 1, 1], False),    # 8 but 5 > 4
+            ([4, 3, 2, 1], True),     # 10 -> {4,1} {3,2}
+        ],
+    )
+    def test_decides_2partition(self, values, expected):
+        ok, subset = solve_2partition_via_mapping(values)
+        assert ok == expected
+        if ok:
+            assert subset is not None
+            half = sum(values) / 2
+            assert sum(values[i] for i in subset) == pytest.approx(half)
+
+    def test_infeasible_period_means_no_partition(self):
+        g = partition_fork_join([3, 1, 1])
+        prob = ProblemInstance(g, partition_platform(2), 2.5)  # S/2 = 2.5
+        with pytest.raises(HeuristicFailure):
+            brute_force_optimal(prob)
+
+
+class TestUnilineGadget:
+    def test_stage_count(self):
+        g = uniline_gadget([2, 3, 5])
+        assert g.n == 3 * 3 + 3
+
+    def test_unit_computations(self):
+        g = uniline_gadget([2, 3])
+        assert all(w == 1.0 for w in g.weights)
+
+    def test_is_series_parallel(self):
+        assert is_series_parallel(uniline_gadget([1, 2, 3, 4]))
+
+    def test_backbone_volumes(self):
+        values = [2.0, 4.0]
+        g = uniline_gadget(values, eps=0.5)
+        S = 6.0
+        backbone = S / 2 + 0.5
+        # Edge In -> A_1 carries S/2 + eps.
+        assert g.comm(0, 1) == pytest.approx(backbone)
+        # Appendix B -> C edges carry S + eps.
+        heavy = [d for d in g.edges.values() if d == pytest.approx(S + 0.5)]
+        assert len(heavy) == len(values)
+
+    def test_value_edges_present(self):
+        values = [2.0, 4.0, 7.0]
+        g = uniline_gadget(values)
+        vols = sorted(g.edges.values())
+        for v in values:
+            assert any(abs(d - v) < 1e-12 for d in vols)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            uniline_gadget([])
+        with pytest.raises(ValueError):
+            uniline_gadget([1, -2])

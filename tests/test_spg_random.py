@@ -1,0 +1,92 @@
+"""Unit tests for the random SPG generator."""
+
+import numpy as np
+import pytest
+
+from repro.spg.analysis import is_series_parallel
+from repro.spg.random_gen import (
+    random_spg,
+    random_spg_with_elevation,
+    random_weights,
+)
+from repro.spg.build import diamond
+
+
+class TestRandomSpg:
+    @pytest.mark.parametrize("n", [2, 3, 5, 10, 25, 50])
+    def test_exact_size(self, n):
+        g = random_spg(n, rng=0)
+        assert g.n == n
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_is_series_parallel(self, seed):
+        g = random_spg(30, rng=seed)
+        assert is_series_parallel(g)
+
+    def test_deterministic_under_seed(self):
+        a = random_spg(20, rng=1234)
+        b = random_spg(20, rng=1234)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_spg(20, rng=1) != random_spg(20, rng=2)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_spg(1, rng=0)
+
+    def test_ccr_target(self):
+        g = random_spg(20, rng=0, ccr=10.0)
+        assert g.ccr == pytest.approx(10.0)
+
+    def test_pure_series_is_chain(self):
+        g = random_spg(10, rng=0, p_parallel=0.0)
+        assert g.ymax == 1
+        assert g.xmax == 10
+
+    def test_weight_ranges(self):
+        g = random_spg(30, rng=0, w_range=(10.0, 20.0), d_range=(1.0, 2.0))
+        assert all(10.0 <= w <= 20.0 for w in g.weights)
+        assert all(1.0 <= d <= 2.0 for d in g.edges.values())
+
+
+class TestElevationTargeting:
+    @pytest.mark.parametrize("elev", [1, 2, 4, 6])
+    def test_hits_target(self, elev):
+        g = random_spg_with_elevation(40, elev, rng=0)
+        assert g.ymax == elev
+
+    def test_elevation_one_is_chain(self):
+        g = random_spg_with_elevation(15, 1, rng=0)
+        assert g.ymax == 1
+        assert g.n == 15
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            random_spg_with_elevation(10, 0, rng=0)
+
+    def test_size_preserved(self):
+        g = random_spg_with_elevation(33, 4, rng=0)
+        assert g.n == 33
+
+    def test_ccr_applied(self):
+        g = random_spg_with_elevation(30, 3, rng=0, ccr=1.0)
+        assert g.ccr == pytest.approx(1.0)
+
+
+class TestRandomWeights:
+    def test_structure_preserved(self):
+        base = diamond()
+        g = random_weights(base, rng=0)
+        assert g.labels == base.labels
+        assert set(g.edges) == set(base.edges)
+
+    def test_ccr(self):
+        g = random_weights(diamond(), rng=0, ccr=5.0)
+        assert g.ccr == pytest.approx(5.0)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(7)
+        a = random_weights(diamond(), rng=rng)
+        b = random_weights(diamond(), rng=np.random.default_rng(7))
+        assert a == b

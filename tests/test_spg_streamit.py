@@ -1,0 +1,82 @@
+"""The synthetic StreamIt suite must match Table 1 of the paper exactly."""
+
+import pytest
+
+from repro.spg.analysis import is_series_parallel
+from repro.spg.streamit import (
+    STREAMIT_TABLE1,
+    streamit_names,
+    streamit_suite,
+    streamit_workflow,
+)
+
+
+@pytest.mark.parametrize("spec", STREAMIT_TABLE1, ids=lambda s: s.name)
+class TestTable1:
+    def test_size(self, spec):
+        assert streamit_workflow(spec.index).n == spec.n
+
+    def test_elevation(self, spec):
+        assert streamit_workflow(spec.index).ymax == spec.ymax
+
+    def test_length(self, spec):
+        assert streamit_workflow(spec.index).xmax == spec.xmax
+
+    def test_ccr(self, spec):
+        assert streamit_workflow(spec.index).ccr == pytest.approx(spec.ccr)
+
+    def test_is_series_parallel(self, spec):
+        assert is_series_parallel(streamit_workflow(spec.index))
+
+
+class TestApi:
+    def test_lookup_by_name(self):
+        assert streamit_workflow("fmradio").n == 43
+
+    def test_lookup_case_insensitive(self):
+        a = streamit_workflow("DCT")
+        b = streamit_workflow("dct")
+        assert a == b
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            streamit_workflow("nosuchapp")
+
+    def test_unknown_index(self):
+        with pytest.raises(KeyError):
+            streamit_workflow(13)
+
+    def test_ccr_override(self):
+        g = streamit_workflow(1, ccr=0.1)
+        assert g.ccr == pytest.approx(0.1)
+
+    def test_ccr_override_preserves_structure(self):
+        a = streamit_workflow(3)
+        b = streamit_workflow(3, ccr=1.0)
+        assert a.labels == b.labels
+        assert a.weights == b.weights
+
+    def test_seed_changes_weights(self):
+        a = streamit_workflow(5, seed=0)
+        b = streamit_workflow(5, seed=1)
+        assert a != b
+        assert a.labels == b.labels
+
+    def test_deterministic(self):
+        assert streamit_workflow(2) == streamit_workflow(2)
+
+    def test_suite_order(self):
+        suite = streamit_suite()
+        assert len(suite) == 12
+        assert [g.n for g in suite] == [s.n for s in STREAMIT_TABLE1]
+
+    def test_names(self):
+        names = streamit_names()
+        assert names[0] == "Beamformer"
+        assert names[-1] == "TDE"
+
+    def test_distinct_workflows_distinct_weights(self):
+        # Same seed, different apps: the per-app RNG stream must differ.
+        a = streamit_workflow(7, seed=0)   # DCT, chain of 8
+        b = streamit_workflow(9, seed=0)   # FFT, chain of 17
+        assert a.weights[:2] != b.weights[:2]
