@@ -14,6 +14,7 @@ in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 from repro.experiments import (
@@ -34,6 +35,10 @@ ELEVATIONS_150 = (2, 8, 16, 24)  # paper: 1..30
 CCRS_RANDOM = (10.0, 1.0, 0.1)
 SEED = 2011  # publication year, for determinism
 
+#: Worker processes for the experiment sweeps (results are identical for
+#: any value; see repro.experiments.parallel).  0 = all CPUs.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 _cache: dict[tuple, object] = {}
 
 
@@ -42,7 +47,7 @@ def streamit_experiment(grid_size: int) -> StreamItExperiment:
     key = ("streamit", grid_size)
     if key not in _cache:
         _cache[key] = run_streamit_experiment(
-            CMPGrid(grid_size, grid_size), seed=SEED
+            CMPGrid(grid_size, grid_size), seed=SEED, jobs=JOBS
         )
     return _cache[key]  # type: ignore[return-value]
 
@@ -60,6 +65,7 @@ def random_experiment(n: int, grid_size: int, ccr: float) -> RandomExperiment:
                 RANDOM_REPLICATES_50 if n <= 50 else RANDOM_REPLICATES_150
             ),
             seed=SEED,
+            jobs=JOBS,
         )
     return _cache[key]  # type: ignore[return-value]
 

@@ -107,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--csv", metavar="PATH", default=None,
                        help="also export the records as CSV")
+    p_exp.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for the sweep (0 = all "
+                            "CPUs; results are identical for any value; "
+                            "default 1 = serial)")
     return parser
 
 
@@ -190,7 +194,8 @@ def cmd_experiment(args, out) -> int:
     ccrs = tuple(args.ccr) if args.ccr else (None, 10.0, 1.0, 0.1)
     workflows = tuple(args.workflows) if args.workflows else None
     exp = run_streamit_experiment(
-        grid, ccrs=ccrs, workflows=workflows, seed=args.seed
+        grid, ccrs=ccrs, workflows=workflows, seed=args.seed,
+        jobs=args.jobs,
     )
     print(exp.render(), file=out)
     if args.csv:

@@ -47,6 +47,7 @@ class Mapping:
     alloc: dict[int, Core]
     speeds: dict[Core, float]
     paths: dict[Edge, list[Core]] = field(default_factory=dict)
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         for (i, j) in self.remote_edges():
@@ -55,6 +56,10 @@ class Mapping:
 
     # ------------------------------------------------------------------
     # Views
+    #
+    # Mappings are effectively frozen once constructed (heuristics build a
+    # fresh Mapping per candidate), so the derived views below are computed
+    # once and memoised.  Treat the returned containers as read-only.
     # ------------------------------------------------------------------
     def remote_edges(self) -> list[Edge]:
         """Application edges whose endpoints are on distinct cores.
@@ -63,40 +68,64 @@ class Mapping:
         allocation fails in :meth:`check_structure` with a clear error
         rather than during construction.
         """
-        alloc = self.alloc
-        return [
-            (i, j)
-            for (i, j) in self.spg.edges
-            if i in alloc and j in alloc and alloc[i] != alloc[j]
-        ]
+        cached = self._memo.get("remote_edges")
+        if cached is None:
+            alloc = self.alloc
+            cached = self._memo["remote_edges"] = [
+                (i, j)
+                for (i, j) in self.spg.edges
+                if i in alloc and j in alloc and alloc[i] != alloc[j]
+            ]
+        return cached
 
     def clusters(self) -> dict[Core, list[int]]:
-        """Stages grouped by core."""
-        out: dict[Core, list[int]] = {}
-        for i in range(self.spg.n):
-            out.setdefault(self.alloc[i], []).append(i)
-        return out
+        """Stages grouped by core (unmapped stages are skipped).
+
+        Tolerating a partial allocation keeps debugging renders such as
+        :meth:`ascii` usable mid-construction; :meth:`check_structure` is
+        the place where partial allocations are rejected.
+        """
+        cached = self._memo.get("clusters")
+        if cached is None:
+            out: dict[Core, list[int]] = {}
+            for i in range(self.spg.n):
+                c = self.alloc.get(i)
+                if c is not None:
+                    out.setdefault(c, []).append(i)
+            cached = self._memo["clusters"] = out
+        return cached
 
     def active_cores(self) -> set[Core]:
         """Cores executing at least one stage."""
-        return set(self.alloc.values())
+        cached = self._memo.get("active_cores")
+        if cached is None:
+            cached = self._memo["active_cores"] = set(self.alloc.values())
+        return cached
 
     def core_work(self) -> dict[Core, float]:
         """Total computation weight per active core."""
-        out: dict[Core, float] = {}
-        for i, c in self.alloc.items():
-            out[c] = out.get(c, 0.0) + self.spg.weights[i]
-        return out
+        cached = self._memo.get("core_work")
+        if cached is None:
+            out: dict[Core, float] = {}
+            weights = self.spg.weights
+            for i, c in self.alloc.items():
+                out[c] = out.get(c, 0.0) + weights[i]
+            cached = self._memo["core_work"] = out
+        return cached
 
     def link_traffic(self) -> dict[tuple[Core, Core], float]:
         """Bytes per period on every used directed link."""
-        out: dict[tuple[Core, Core], float] = {}
-        for (i, j) in self.remote_edges():
-            d = self.spg.edges[(i, j)]
-            path = self.paths[(i, j)]
-            for a, b in zip(path, path[1:]):
-                out[(a, b)] = out.get((a, b), 0.0) + d
-        return out
+        cached = self._memo.get("link_traffic")
+        if cached is None:
+            out: dict[tuple[Core, Core], float] = {}
+            edges = self.spg.edges
+            for (i, j) in self.remote_edges():
+                d = edges[(i, j)]
+                path = self.paths[(i, j)]
+                for a, b in zip(path, path[1:]):
+                    out[(a, b)] = out.get((a, b), 0.0) + d
+            cached = self._memo["link_traffic"] = out
+        return cached
 
     def hops(self) -> float:
         """Total byte-hops (communication volume weighted by path length)."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Mapping
 
 from repro.core.errors import BudgetExceeded
-from repro.spg.analysis import ancestor_masks, descendant_masks
+from repro.spg.analysis import ancestor_masks, cut_volume, descendant_masks
 from repro.spg.graph import SPG
 from repro.util.bitset import bit, iter_bits, mask_of
 
@@ -102,6 +102,31 @@ class IdealLattice:
         self.desc = descendant_masks(spg)
         self.anc = ancestor_masks(spg)
         self._ideals: list[int] | None = None
+        self._budget_error: str | None = None
+        self._cut: dict[int, float] = {}
+        self._cuts_bulk_done = False
+        self._cut_table: tuple | None = None
+        self._initc: dict[int, list[int]] = {0: []}
+        self._init_mask: dict[int, int] = {}
+        # ideal -> (weight cap, masks uint64, works float64): the suffix
+        # clusters enumerated at the loosest cap seen; tighter caps filter
+        # the arrays in C (weight pruning removes whole DFS subtrees, so
+        # the filtered arrays match a pruned enumeration element for
+        # element).
+        self._sfx: dict[int, tuple] = {}
+
+    @staticmethod
+    def for_spg(spg: SPG, budget: int = 200_000) -> "IdealLattice":
+        """The lattice of ``spg``, cached on the (immutable) graph.
+
+        Heuristics re-run on the same SPG at several candidate periods; the
+        lattice (and its enumeration, cut volumes, even a cached budget
+        failure) only depends on the graph, so one instance per ``(spg,
+        budget)`` pair serves them all.
+        """
+        return spg.cached(
+            ("ideal_lattice", budget), lambda: IdealLattice(spg, budget)
+        )
 
     # ------------------------------------------------------------------
     def weight(self, mask: int) -> float:
@@ -127,28 +152,178 @@ class IdealLattice:
         """All order ideals, sorted by population count (empty set first).
 
         Raises :class:`BudgetExceeded` if there are more than ``budget``.
-        The result is cached.
+        Both the result and a budget failure are cached, so repeated solves
+        on the same lattice neither re-enumerate nor re-discover the blowup.
         """
         if self._ideals is not None:
             return self._ideals
+        if self._budget_error is not None:
+            raise BudgetExceeded(self._budget_error)
+        if self.spg.n <= 62:
+            return self._ideals_vector()
         seen: set[int] = {0}
-        frontier = [0]
+        initc = self._initc
+        pm = self._pred_mask
+        succs = [list(self.spg.succs(i)) for i in range(self.spg.n)]
+        seen_add = seen.add
+        # BFS with *incremental* frontier state: each entry carries its
+        # ideal's addable stages (predecessor-closed extensions) and its
+        # successor-free stages, both maintained in O(degree) per step
+        # instead of O(n) rescans.
+        roots = [i for i in range(self.spg.n) if pm[i] == 0]
+        frontier: list[tuple[int, list[int], list[int]]] = [(0, [], roots)]
         while frontier:
-            nxt: list[int] = []
-            for ideal in frontier:
-                for i in self.addable(ideal):
+            nxt: list[tuple[int, list[int], list[int]]] = []
+            for ideal, cur_init, cur_add in frontier:
+                for i in cur_add:
                     cand = ideal | bit(i)
-                    if cand not in seen:
-                        seen.add(cand)
-                        if len(seen) > self.budget:
-                            raise BudgetExceeded(
-                                f"more than {self.budget} admissible subgraphs "
-                                f"(n={self.spg.n}, ymax={self.spg.ymax})"
-                            )
-                        nxt.append(cand)
+                    if cand in seen:
+                        continue
+                    seen_add(cand)
+                    if len(seen) > self.budget:
+                        self._budget_error = (
+                            f"more than {self.budget} admissible "
+                            f"subgraphs (n={self.spg.n}, "
+                            f"ymax={self.spg.ymax})"
+                        )
+                        raise BudgetExceeded(self._budget_error)
+                    # Addable stages of ``cand``: everything addable to
+                    # ``ideal`` except ``i``, plus successors of ``i``
+                    # whose predecessors are now all in.
+                    new_add = [a for a in cur_add if a != i]
+                    for j in succs[i]:
+                        if not (cand >> j) & 1 and pm[j] & ~cand == 0:
+                            new_add.append(j)
+                    # Successor-free stages of ``cand``: ``i`` joins (its
+                    # successors cannot be in an ideal containing it) and
+                    # its predecessors leave; kept sorted to match a
+                    # low-to-high bit scan.
+                    pmi = pm[i]
+                    ni: list[int] = []
+                    placed = False
+                    for p in cur_init:
+                        if (pmi >> p) & 1:
+                            continue
+                        if not placed and i < p:
+                            ni.append(i)
+                            placed = True
+                        ni.append(p)
+                    if not placed:
+                        ni.append(i)
+                    initc[cand] = ni
+                    nxt.append((cand, ni, new_add))
             frontier = nxt
         self._ideals = sorted(seen, key=lambda m: (m.bit_count(), m))
         return self._ideals
+
+    def _ideals_vector(self) -> list[int]:
+        """Vectorised ideal enumeration for word-sized graphs.
+
+        Growing an ideal by one addable stage raises its popcount by
+        exactly one, so the BFS layers *are* the popcount classes: each
+        layer is produced from the previous one with one masked
+        shift-and-or per stage, deduplicated by ``np.unique`` (which also
+        yields the value-sorted order within the class).  The concatenated
+        layers therefore match the scalar enumeration's
+        ``sorted-by-(popcount, value)`` output exactly.
+        """
+        import numpy as np
+
+        n = self.spg.n
+        pm = self._pred_mask
+        sm = self._succ_mask
+        bits = [np.uint64(1 << i) for i in range(n)]
+        pms = [np.uint64(m) for m in pm]
+        zero = np.uint64(0)
+        layers = [np.zeros(1, dtype=np.uint64)]
+        layer = layers[0]
+        count = 1
+        while True:
+            cands = []
+            for i in range(n):
+                b = bits[i]
+                p = pms[i]
+                sel = ((layer & b) == zero) & ((layer & p) == p)
+                if sel.any():
+                    cands.append(layer[sel] | b)
+            if not cands:
+                break
+            layer = np.unique(
+                np.concatenate(cands) if len(cands) > 1 else cands[0]
+            )
+            count += layer.size
+            if count > self.budget:
+                self._budget_error = (
+                    f"more than {self.budget} admissible "
+                    f"subgraphs (n={self.spg.n}, ymax={self.spg.ymax})"
+                )
+                raise BudgetExceeded(self._budget_error)
+            layers.append(layer)
+        allv = np.concatenate(layers) if len(layers) > 1 else layers[0]
+        self._ideals = allv.tolist()
+        # Successor-free masks of every ideal, also one vector op per stage.
+        im = np.zeros(allv.size, dtype=np.uint64)
+        for i in range(n):
+            b = bits[i]
+            s = np.uint64(sm[i])
+            sel = ((allv & b) != zero) & ((allv & s) == zero)
+            im[sel] |= b
+        self._init_mask = dict(zip(self._ideals, im.tolist()))
+        return self._ideals
+
+    def cut_volume(self, prefix: int) -> float:
+        """Bytes leaving ideal ``prefix`` (cached; shared across periods).
+
+        The summation order matches a scan of ``spg.edges`` so values are
+        bit-identical to :func:`repro.spg.analysis.cut_volume`.  For graphs
+        that fit a machine word the cuts of *all* ideals are computed in one
+        vectorised pass (one numpy masked-add per edge, which accumulates in
+        the same edge order as the scalar scan).
+        """
+        c = self._cut.get(prefix)
+        if c is None:
+            if not self._cuts_bulk_done and self._ideals is not None:
+                self._bulk_cuts()
+                self._cuts_bulk_done = True
+                c = self._cut.get(prefix)
+            if c is None:
+                c = self._cut[prefix] = cut_volume(self.spg, prefix)
+        return c
+
+    def _bulk_cuts(self) -> None:
+        """Vectorised cut volumes for every enumerated ideal (n <= 62)."""
+        table = self.cut_table()
+        if table is not None:
+            vals, cuts = table
+            self._cut = dict(zip(vals.tolist(), cuts.tolist()))
+
+    def cut_table(self):
+        """``(values, cuts)`` numpy arrays over all ideals, value-sorted.
+
+        ``values`` is a sorted ``uint64`` array of every ideal bitmask and
+        ``cuts[k]`` the cut volume of ``values[k]`` — the DP's vectorised
+        prefix lookups run ``np.searchsorted`` against it.  ``None`` when
+        the graph exceeds a machine word (n > 62) or the ideals have not
+        been enumerated yet.
+        """
+        if self._cut_table is None:
+            if self.spg.n > 62 or self._ideals is None:
+                return None
+            import numpy as np
+
+            ideals = self._ideals
+            vals = np.sort(
+                np.fromiter(ideals, dtype=np.uint64, count=len(ideals))
+            )
+            cuts = np.zeros(len(ideals))
+            one = np.uint64(1)
+            for i, j, d in self.spg.edge_list:
+                leaving = ((vals >> np.uint64(i)) & one).astype(bool) & (
+                    ((vals >> np.uint64(j)) & one) == 0
+                )
+                cuts[leaving] += d
+            self._cut_table = (vals, cuts)
+        return self._cut_table
 
     # ------------------------------------------------------------------
     def suffix_clusters_weighted(
@@ -167,37 +342,131 @@ class IdealLattice:
         up-set is produced exactly once.  Clusters heavier than
         ``max_weight`` are pruned (they cannot meet the period at any
         speed), which keeps the enumeration tractable for tight periods.
+
+        For word-sized graphs without a cluster budget the pairs are built
+        from the per-ideal array cache of :meth:`suffix_arrays`, so e.g.
+        the DP reconstruction rereads exactly what the solve enumerated.
         """
+        if max_clusters is None and self.spg.n <= 62:
+            masks, works = self.suffix_arrays(ideal, max_weight)
+            return list(zip(masks.tolist(), works.tolist()))
+        masks_l, works_l = self._enumerate_suffix_lists(
+            ideal, max_weight, max_clusters
+        )
+        return list(zip(masks_l, works_l))
+
+    def suffix_arrays(self, ideal: int, max_weight: float):
+        """Suffix clusters of ``ideal`` as ``(masks, works)`` numpy arrays.
+
+        Same clusters, same order as :meth:`suffix_clusters_weighted`, but
+        flat ``uint64``/``float64`` arrays (graphs must fit a machine
+        word).  The arrays are cached per ideal at the loosest cap seen;
+        a tighter cap filters them with one vectorised comparison — the
+        weight pruning of the DFS removes exactly the elements heavier
+        than the cap, so filtering reproduces a pruned enumeration
+        element for element.  choose_period probes the same graph at
+        successively tighter periods and hits this cache on every re-run.
+        """
+        import numpy as np
+
+        hit = self._sfx.get(ideal)
+        if hit is not None:
+            cap, masks, works = hit
+            if max_weight == cap:
+                return masks, works
+            if max_weight < cap:
+                sel = works <= max_weight
+                masks, works = masks[sel], works[sel]
+                # choose_period only ever tightens the period, so the
+                # filtered arrays replace the loose ones: the same solve's
+                # later passes (and tighter periods) hit the == case above.
+                self._sfx[ideal] = (max_weight, masks, works)
+                return masks, works
+        masks_l, works_l = self._enumerate_suffix_lists(ideal, max_weight)
+        masks = np.fromiter(masks_l, dtype=np.uint64, count=len(masks_l))
+        works = np.fromiter(works_l, dtype=np.float64, count=len(works_l))
+        self._sfx[ideal] = (max_weight, masks, works)
+        return masks, works
+
+    def _enumerate_suffix_lists(
+        self, ideal: int, max_weight: float, max_clusters: int | None = None
+    ) -> tuple[list[int], list[float]]:
+        """The one suffix-cluster DFS, shared by every enumeration front end.
+
+        ``start`` indexes into a shared candidate list so the common "no
+        freshly exposed stage" case recurses without copying; the
+        enumeration order (and therefore every downstream tie-break) is
+        identical to a naive slice-and-concatenate implementation.
+        """
+        masks_l: list[int] = []
+        works_l: list[float] = []
         sm = self._succ_mask
         pm = self._pred_mask
         w = self._weights
-        out: list[tuple[int, float]] = []
+        masks_append = masks_l.append
+        works_append = works_l.append
+        init = self._init_list(ideal)
 
-        init = [
-            i for i in iter_bits(ideal) if sm[i] & ideal == 0
-        ]  # successor-free stages of the ideal
-
-        def rec(h: int, h_weight: float, cands: list[int]) -> None:
-            for idx, i in enumerate(cands):
-                wi = w[i]
-                nw = h_weight + wi
+        def rec(
+            h: int,
+            h_weight: float,
+            cands: list[int],
+            start: int,
+            # Hot-loop constants bound as defaults (LOAD_FAST).
+            sm=sm,
+            pm=pm,
+            w=w,
+            ideal=ideal,
+            max_weight=max_weight,
+            max_clusters=max_clusters,
+            masks_append=masks_append,
+            works_append=works_append,
+        ) -> None:
+            end = len(cands)
+            for idx in range(start, end):
+                i = cands[idx]
+                nw = h_weight + w[i]
                 if nw > max_weight:
                     continue
                 nh = h | (1 << i)
-                out.append((nh, nw))
-                if max_clusters is not None and len(out) > max_clusters:
+                masks_append(nh)
+                works_append(nw)
+                if max_clusters is not None and len(masks_l) > max_clusters:
                     raise BudgetExceeded(
-                        f"more than {max_clusters} suffix clusters for one ideal"
+                        f"more than {max_clusters} suffix clusters "
+                        f"for one ideal"
                     )
-                fresh = [
-                    p
-                    for p in iter_bits(pm[i] & ideal & ~nh)
-                    if sm[p] & ideal & ~nh == 0
-                ]
-                rec(nh, nw, cands[idx + 1 :] + fresh)
+                rem = ideal ^ nh
+                m = pm[i] & rem
+                if m:
+                    fresh = []
+                    while m:
+                        low = m & -m
+                        p = low.bit_length() - 1
+                        m ^= low
+                        if sm[p] & rem == 0:
+                            fresh.append(p)
+                    if fresh:
+                        rec(nh, nw, cands[idx + 1 : end] + fresh, 0)
+                        continue
+                if idx + 1 < end:
+                    rec(nh, nw, cands, idx + 1)
 
-        rec(0, 0.0, init)
-        return out
+        rec(0, 0.0, init, 0)
+        return masks_l, works_l
+
+    def _init_list(self, ideal: int) -> list[int]:
+        """Successor-free stages of ``ideal``, ascending (cached)."""
+        init = self._initc.get(ideal)
+        if init is None:
+            m = self._init_mask.get(ideal)
+            if m is not None:
+                init = list(iter_bits(m))
+            else:
+                sm = self._succ_mask
+                init = [i for i in iter_bits(ideal) if sm[i] & ideal == 0]
+            self._initc[ideal] = init
+        return init
 
     def suffix_clusters(
         self, ideal: int, max_weight: float, max_clusters: int | None = None

@@ -17,6 +17,7 @@ from repro.experiments.random_experiments import (
     run_random_experiment,
     DEFAULT_ELEVATIONS,
 )
+from repro.experiments.parallel import resolve_jobs, run_tasks
 from repro.experiments.report import (
     random_csv,
     random_markdown,
@@ -42,4 +43,6 @@ __all__ = [
     "random_markdown",
     "streamit_csv",
     "streamit_markdown",
+    "resolve_jobs",
+    "run_tasks",
 ]

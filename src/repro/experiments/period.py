@@ -62,6 +62,7 @@ def choose_period(
     max_steps: int = 8,
     rng=None,
     options: dict | None = None,
+    seed: int | None = None,
 ) -> PeriodChoice:
     """Select the period by the paper's divide-by-10 procedure.
 
@@ -69,9 +70,15 @@ def choose_period(
     heuristic succeeds) together with the results obtained there.  Raises
     ``RuntimeError`` if no period in the searched range admits any valid
     mapping (which would mean the instance is broken).
+
+    ``seed`` is the heuristic seed normally drawn from ``rng`` as the first
+    step; the parallel experiment engine pre-draws it in the parent process
+    (preserving the shared stream's consumption order exactly) and passes
+    it here so workers reproduce the serial results bit for bit.
     """
-    rng = as_rng(rng)
-    seed = int(rng.integers(0, 2**63 - 1))
+    if seed is None:
+        rng = as_rng(rng)
+        seed = int(rng.integers(0, 2**63 - 1))
 
     def attempt(T: float) -> dict[str, HeuristicResult]:
         return run_all(

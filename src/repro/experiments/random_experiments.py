@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.period import choose_period
+from repro.experiments.parallel import random_panel_task, run_tasks
 from repro.experiments.runner import (
     FailureCounter,
     InstanceRecord,
@@ -91,27 +91,37 @@ def run_random_experiment(
     seed: int = 0,
     heuristics=PAPER_ORDER,
     options: dict | None = None,
+    jobs: int | None = 1,
 ) -> RandomExperiment:
     """Run one Figure-10..13 panel.
 
     The paper averages 100 random graphs per elevation value; benchmarks use
     a smaller ``replicates`` (recorded in EXPERIMENTS.md) to bound wall-time.
+
+    ``jobs`` fans the per-replicate ``choose_period`` runs out over a
+    process pool (``None``/``0`` = all CPUs).  The instances and heuristic
+    seeds are generated serially in the parent first, so the results are
+    bit-identical for every ``jobs`` value.
     """
     rng = as_rng(seed)
-    records: dict[int, list[InstanceRecord]] = {}
+    heuristics = tuple(heuristics)
+    labels: list[tuple[int, str]] = []
+    tasks = []
     for elev in elevations:
         if elev > n // 2:
             continue  # unreachable elevation for this size
-        recs: list[InstanceRecord] = []
         for rep in range(replicates):
+            # Consume the shared stream exactly as the serial loop did:
+            # instance generation first, then the heuristic seed that
+            # choose_period would have drawn.
             spg = random_spg_with_elevation(n, elev, rng=rng, ccr=ccr)
-            choice = choose_period(
-                spg, grid, heuristics, rng=rng, options=options
-            )
-            recs.append(
-                InstanceRecord.from_choice(
-                    f"n{n}/elev{elev}/rep{rep}", choice
-                )
-            )
-        records[elev] = recs
-    return RandomExperiment(n, grid, ccr, records, tuple(heuristics))
+            hseed = int(rng.integers(0, 2**63 - 1))
+            labels.append((elev, f"n{n}/elev{elev}/rep{rep}"))
+            tasks.append((spg, grid, heuristics, hseed, options))
+    choices = run_tasks(random_panel_task, tasks, jobs=jobs)
+    records: dict[int, list[InstanceRecord]] = {}
+    for (elev, label), choice in zip(labels, choices):
+        records.setdefault(elev, []).append(
+            InstanceRecord.from_choice(label, choice)
+        )
+    return RandomExperiment(n, grid, ccr, records, heuristics)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.period import choose_period
+from repro.experiments.parallel import run_tasks, streamit_task
 from repro.experiments.runner import (
     FailureCounter,
     InstanceRecord,
@@ -18,7 +18,7 @@ from repro.experiments.runner import (
 )
 from repro.heuristics.base import PAPER_ORDER
 from repro.platform.cmp import CMPGrid
-from repro.spg.streamit import STREAMIT_TABLE1, streamit_workflow
+from repro.spg.streamit import STREAMIT_TABLE1
 from repro.util.fmt import format_table
 from repro.util.rng import as_rng
 
@@ -89,21 +89,30 @@ def run_streamit_experiment(
     seed: int = 0,
     heuristics=PAPER_ORDER,
     options: dict | None = None,
+    jobs: int | None = 1,
 ) -> StreamItExperiment:
     """Run the Figure-8/9 sweep on ``grid``.
 
     ``workflows`` restricts to a subset of Table-1 indices (all by default);
     benchmarks use subsets to bound wall-time.
+
+    ``jobs`` fans the per-instance ``choose_period`` runs out over a
+    process pool (``None``/``0`` = all CPUs); heuristic seeds are pre-drawn
+    serially so results match a serial run bit for bit.
     """
     rng = as_rng(seed)
+    heuristics = tuple(heuristics)
     indices = workflows or tuple(s.index for s in STREAMIT_TABLE1)
-    records: dict[tuple[int, float | None], InstanceRecord] = {}
+    keys: list[tuple[int, float | None]] = []
+    tasks = []
     for idx in indices:
         for ccr in ccrs:
-            spg = streamit_workflow(idx, ccr=ccr, seed=seed)
-            choice = choose_period(
-                spg, grid, heuristics, rng=rng, options=options
-            )
-            label = f"app{idx}/ccr={'orig' if ccr is None else ccr}"
-            records[(idx, ccr)] = InstanceRecord.from_choice(label, choice)
-    return StreamItExperiment(grid, records, tuple(heuristics))
+            hseed = int(rng.integers(0, 2**63 - 1))
+            keys.append((idx, ccr))
+            tasks.append((idx, ccr, seed, grid, heuristics, hseed, options))
+    choices = run_tasks(streamit_task, tasks, jobs=jobs)
+    records: dict[tuple[int, float | None], InstanceRecord] = {}
+    for (idx, ccr), choice in zip(keys, choices):
+        label = f"app{idx}/ccr={'orig' if ccr is None else ccr}"
+        records[(idx, ccr)] = InstanceRecord.from_choice(label, choice)
+    return StreamItExperiment(grid, records, heuristics)

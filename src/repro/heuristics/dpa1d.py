@@ -30,21 +30,11 @@ from repro.core.partition import IdealLattice
 from repro.core.problem import ProblemInstance
 from repro.heuristics.base import register
 from repro.platform.routing import snake_order
-from repro.spg.graph import SPG
 from repro.util.bitset import bits_of
 
 __all__ = ["dpa1d_mapping", "solve_uniline"]
 
 INF = float("inf")
-
-
-def _cut_bytes(spg: SPG, prefix: int) -> float:
-    """Volume (bytes) of edges leaving the prefix ideal."""
-    total = 0.0
-    for (i, j), d in spg.edges.items():
-        if (prefix >> i) & 1 and not (prefix >> j) & 1:
-            total += d
-    return total
 
 
 class _UnilineDP:
@@ -57,19 +47,30 @@ class _UnilineDP:
         self.r = min(r, self.spg.n)
         self.cap_work = self.T * self.model.s_max
         self.cap_bytes = self.model.link_capacity(self.T)
-        self.lat = IdealLattice(self.spg, budget=ideal_budget)
-        self._cut: dict[int, float] = {}
+        # The lattice (ideal enumeration + cut volumes) only depends on the
+        # SPG, so it is shared across the several periods choose_period
+        # probes on the same graph.
+        self.lat = IdealLattice.for_spg(self.spg, budget=ideal_budget)
         self._ecal: dict[int, tuple[float, float] | None] = {}
         # best[ideal][k] = optimal energy of ideal on exactly k+... index k
         # covers 0..r clusters (index 0 only finite for the empty ideal).
+        # The scalar path stores rows in this dict; the vectorised path
+        # (n <= 62) stores them as the matrix ``B`` indexed by the
+        # value-sorted ideal array ``vals`` (all-inf row == not stored).
         self.best: dict[int, np.ndarray] = {}
+        self.B: np.ndarray | None = None
+        self.vals: np.ndarray | None = None
+
+    def _row(self, ideal: int) -> np.ndarray | None:
+        """The DP row of ``ideal`` (None when unreachable)."""
+        if self.B is None:
+            return self.best.get(ideal)
+        pos = int(np.searchsorted(self.vals, ideal))
+        row = self.B[pos]
+        return row if np.isfinite(row).any() else None
 
     def cut(self, prefix: int) -> float:
-        c = self._cut.get(prefix)
-        if c is None:
-            c = _cut_bytes(self.spg, prefix)
-            self._cut[prefix] = c
-        return c
+        return self.lat.cut_volume(prefix)
 
     def ecal(self, cluster: int, work: float) -> tuple[float, float] | None:
         """(energy, speed) of one cluster on one core, or None if infeasible.
@@ -99,39 +100,201 @@ class _UnilineDP:
         return cost
 
     def solve(self, transition_budget: int) -> tuple[float, int]:
-        """Forward pass; returns (optimal energy, optimal cluster count)."""
-        r = self.r
+        """Forward pass; returns (optimal energy, optimal cluster count).
+
+        The transition loop is the hot path of the whole experiment
+        harness.  For word-sized graphs (n <= 62) the DP runs layer by
+        layer over popcount classes with every per-transition quantity —
+        prefix lookup, cluster energy, boundary cost, ``k``-vector min —
+        batched into numpy array operations; the element-wise operations
+        reproduce the scalar arithmetic IEEE-exactly, so the results are
+        bit-identical to the per-transition formulation (which remains as
+        the fallback for larger graphs).
+        """
         ideals = self.lat.ideals()  # may raise BudgetExceeded
-        empty = np.full(r + 1, INF)
-        empty[0] = 0.0
-        self.best[0] = empty
-        transitions = 0
-        for ideal in ideals:
-            if ideal == 0:
-                continue
-            row = np.full(r + 1, INF)
-            for cluster, work in self.lat.suffix_clusters_weighted(
-                ideal, self.cap_work
-            ):
-                transitions += 1
-                if transitions > transition_budget:
-                    raise BudgetExceeded(
-                        f"DPA1D exceeded {transition_budget} DP transitions"
-                    )
-                prev = self.best.get(ideal & ~cluster)
-                if prev is None:
-                    continue
-                cost = self.transition_cost(ideal & ~cluster, cluster, work)
-                if cost == INF:
-                    continue
-                np.minimum(row[1:], prev[:-1] + cost, out=row[1:])
-            if np.isfinite(row).any():
-                self.best[ideal] = row
-        final = self.best.get(self.lat.full)
+        if self.lat.cut_table() is not None:
+            return self._solve_vector(ideals, transition_budget)
+        return self._solve_scalar(ideals, transition_budget)
+
+    def _finish(self, final: np.ndarray | None) -> tuple[float, int]:
         if final is None or not np.isfinite(final[1:]).any():
             raise HeuristicFailure("DPA1D: no feasible clustering")
         k_best = int(np.argmin(final[1:])) + 1
         return float(final[k_best]), k_best
+
+    def _solve_vector(
+        self, ideals: list[int], transition_budget: int
+    ) -> tuple[float, int]:
+        r = self.r
+        lat = self.lat
+        model = self.model
+        T = self.T
+        cap_work = self.cap_work
+        cap_bytes = self.cap_bytes
+        full = lat.full
+        vals, cuts = lat.cut_table()
+        n_ideals = len(ideals)
+        B = np.full((n_ideals, r + 1), INF)
+        self.B, self.vals = B, vals
+        B[int(np.searchsorted(vals, 0)), 0] = 0.0  # the empty ideal
+        # Speed selection, vectorised: the scalar rule picks the first
+        # feasible speed of strictly minimal energy-per-cycle, which is
+        # exactly argmin over (epc if feasible else inf).
+        speeds_arr = np.array(model.speeds)
+        pw_arr = np.array(model.dyn_power)
+        caps_arr = np.array([s * T * (1.0 + 1e-12) for s in model.speeds])
+        epc_arr = np.array([pw / s for s, pw in zip(model.speeds, model.dyn_power)])
+        leak = model.comp_leak * T
+        e8 = 8.0  # comm energy is (8.0 * cut) * e_bit, kept in this order
+        e_bit = model.e_bit
+        suffix_arrays = lat.suffix_arrays
+
+        # Budget pass: enumerate (into the lattice's per-ideal array cache)
+        # and count, in the same ideal order the DP uses, collecting the
+        # per-ideal arrays into one flat buffer as it goes.  A run destined
+        # to blow its transition budget raises here — at the exact same
+        # cumulative count as a fused loop — without paying for any DP
+        # work; a surviving run slices the flat buffer below with no
+        # further per-ideal Python.
+        counts = np.zeros(n_ideals, dtype=np.intp)
+        masks_parts: list[np.ndarray] = []
+        works_parts: list[np.ndarray] = []
+        transitions = 0
+        for k, ideal in enumerate(ideals):
+            if ideal == 0:
+                continue
+            masks, works = suffix_arrays(ideal, cap_work)
+            t = len(masks)
+            if t == 0:
+                continue
+            counts[k] = t
+            transitions += t
+            if transitions > transition_budget:
+                raise BudgetExceeded(
+                    f"DPA1D exceeded {transition_budget} DP transitions"
+                )
+            masks_parts.append(masks)
+            works_parts.append(works)
+        if not masks_parts:
+            return self._finish(self._row(full))
+
+        M = np.concatenate(masks_parts)
+        W = np.concatenate(works_parts)
+        ideal_vals = np.fromiter(ideals, dtype=np.uint64, count=n_ideals)
+        epos = np.searchsorted(vals, ideal_vals)  # value-index per ideal
+        owners = np.repeat(ideal_vals, counts)
+        P = np.bitwise_xor(M, owners)
+        pidx = np.searchsorted(vals, P)
+        offsets = np.zeros(n_ideals + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        # Per-transition costs, computed once for the whole lattice: the
+        # cluster's one-core energy plus the dynamic cost of the prefix cut.
+        feasible = W[:, None] <= caps_arr[None, :]
+        epc = np.where(feasible, epc_arr[None, :], INF)
+        k_sel = epc.argmin(axis=1)
+        energy = leak + (W / speeds_arr[k_sel]) * pw_arr[k_sel]
+        costs = energy + e8 * cuts[pidx] * e_bit
+        # Dead-end pruning: an ideal whose cut exceeds the link capacity
+        # can never be extended, so its row stays inf unless it is the
+        # final state.  (Its enumeration still counted towards the budget
+        # above, as in the unpruned DP.)
+        alive = (counts > 0) & (
+            (cuts[epos] <= cap_bytes) | (ideal_vals == np.uint64(full))
+        )
+
+        # Ideals are sorted by popcount: every prefix of a layer-c ideal
+        # lies in a strictly earlier layer, so one batch per layer sees
+        # finalised predecessor rows only.
+        pos = 0
+        while pos < n_ideals:
+            c = ideals[pos].bit_count()
+            end = pos
+            while end < n_ideals and ideals[end].bit_count() == c:
+                end += 1
+            if c == 0:
+                pos = end
+                continue
+            sel = alive[pos:end]
+            if not sel.any():
+                pos = end
+                continue
+            seg_counts = counts[pos:end][sel]
+            keep = np.repeat(sel, counts[pos:end])
+            t0, t1 = offsets[pos], offsets[end]
+            pidx_l = pidx[t0:t1][keep]
+            costs_l = costs[t0:t1][keep]
+            cand = B[pidx_l, :r] + costs_l[:, None]
+            starts = np.zeros(len(seg_counts), dtype=np.intp)
+            np.cumsum(seg_counts[:-1], out=starts[1:])
+            mins = np.minimum.reduceat(cand, starts, axis=0)
+            B[epos[pos:end][sel], 1:] = mins
+            pos = end
+        final = self._row(full)
+        return self._finish(final)
+
+    def _solve_scalar(
+        self, ideals: list[int], transition_budget: int
+    ) -> tuple[float, int]:
+        r = self.r
+        lat = self.lat
+        empty = np.full(r + 1, INF)
+        empty[0] = 0.0
+        self.best[0] = empty
+        cap_work = self.cap_work
+        cap_bytes = self.cap_bytes
+        full = lat.full
+        model = self.model
+        T = self.T
+        e_bit = model.e_bit
+        best_get = self.best.get
+        suffix_clusters = lat.suffix_clusters_weighted
+        ecal = self.ecal
+        lat.cut_volume(0)  # the empty prefix (cut 0)
+        cut_volume = lat.cut_volume
+        cut_get = lat._cut.get
+        transitions = 0
+        for ideal in ideals:
+            if ideal == 0:
+                continue
+            clusters = suffix_clusters(ideal, cap_work)
+            transitions += len(clusters)
+            if transitions > transition_budget:
+                raise BudgetExceeded(
+                    f"DPA1D exceeded {transition_budget} DP transitions"
+                )
+            # Dead-end pruning, as in the vector path.
+            cutv = cut_get(ideal)
+            if cutv is None:
+                cutv = cut_volume(ideal)
+            if ideal != full and cutv > cap_bytes:
+                continue
+            prev_rows: list[np.ndarray] = []
+            costs: list[float] = []
+            for cluster, work in clusters:
+                prefix = ideal ^ cluster  # cluster is an up-set of ideal
+                prev = best_get(prefix)
+                if prev is None:
+                    continue
+                # A stored prefix passed the dead-end check, so its cut fits
+                # the link and the boundary cost is plain dynamic energy.
+                ec = ecal(cluster, work)
+                if ec is None:
+                    continue
+                prev_rows.append(prev)
+                costs.append(ec[0] + 8.0 * cut_get(prefix) * e_bit)
+            if not prev_rows:
+                continue
+            stacked = np.array(prev_rows)
+            tail = (
+                stacked[:, :-1] + np.asarray(costs)[:, None]
+            ).min(axis=0)
+            if not np.isfinite(tail).any():
+                continue
+            row = np.empty(r + 1)
+            row[0] = INF
+            row[1:] = tail
+            self.best[ideal] = row
+        return self._finish(self.best.get(full))
 
     def reconstruct(self, k_best: int) -> tuple[list[list[int]], list[float]]:
         """Walk back through the DP by re-evaluating local transitions."""
@@ -139,13 +302,13 @@ class _UnilineDP:
         speeds_rev: list[float] = []
         ideal, k = self.lat.full, k_best
         while ideal:
-            target = self.best[ideal][k]
+            target = self._row(ideal)[k]
             found = False
             for cluster, work in self.lat.suffix_clusters_weighted(
                 ideal, self.cap_work
             ):
                 prefix = ideal & ~cluster
-                prev = self.best.get(prefix)
+                prev = self._row(prefix)
                 if prev is None or not np.isfinite(prev[k - 1]):
                     continue
                 cost = self.transition_cost(prefix, cluster, work)

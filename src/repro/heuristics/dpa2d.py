@@ -29,12 +29,13 @@ from repro.core.problem import ProblemInstance
 from repro.heuristics.base import register
 from repro.platform.cmp import CMPGrid
 from repro.platform.routing import snake_order
-from repro.spg.analysis import ancestor_masks, convex_closure_ok, descendant_masks
-from repro.util.bitset import mask_of
+from repro.spg.analysis import ancestor_masks, descendant_masks
 
 __all__ = ["dpa2d_mapping", "dpa2d1d_mapping", "solve_dpa2d"]
 
 INF = float("inf")
+
+_MISS = object()  # column-memo sentinel (None is a valid cached result)
 
 #: A distribution of outgoing communications: ((row, dest_stage, bytes), ...)
 Distribution = tuple[tuple[int, int, float], ...]
@@ -53,36 +54,73 @@ class _ColumnResult(NamedTuple):
 
 
 class _Block:
-    """Static data of a level block ``m1 <= x <= m2`` (cached per block)."""
+    """Static data of a level block ``m1 <= x <= m2`` (cached per block).
+
+    Per-row aggregates (work prefix sums, stage-mask prefixes, reachability
+    unions) make :meth:`cluster` O(rows) instead of O(stages): the stage
+    set of a row range is a prefix-mask difference and its convexity check
+    unions precomputed per-row ancestor/descendant masks.
+    """
 
     def __init__(self, solver: "_Dpa2dSolver", m1: int, m2: int) -> None:
         spg = solver.spg
+        labels = spg.labels
         self.m1, self.m2 = m1, m2
         self.stages = [
-            i for i in range(spg.n) if m1 <= spg.labels[i][0] <= m2
+            i for i in range(spg.n) if m1 <= labels[i][0] <= m2
         ]
-        ys = [spg.labels[i][1] for i in self.stages]
+        ys = [labels[i][1] for i in self.stages]
         self.ymax = max(ys) if ys else 0
         self.rows: dict[int, list[int]] = {}
         for i in self.stages:
-            self.rows.setdefault(spg.labels[i][1], []).append(i)
-        in_block = set(self.stages)
-        # Internal edges spanning distinct rows (vertical traffic).
-        self.v_edges = [
-            (spg.labels[i][1], spg.labels[j][1], d)
-            for (i, j), d in spg.edges.items()
-            if i in in_block and j in in_block
-            and spg.labels[i][1] != spg.labels[j][1]
-        ]
-        # Edges leaving the block to later levels (new outgoing comms).
-        self.out_edges = [
-            (i, j, d)
-            for (i, j), d in spg.edges.items()
-            if i in in_block and spg.labels[j][0] > m2
-        ]
+            self.rows.setdefault(labels[i][1], []).append(i)
+        # Internal edges spanning distinct rows (vertical traffic) and
+        # edges leaving the block to later levels, from the solver's
+        # precomputed flat edge array (one pass, no per-block stage set).
+        v_edges = []
+        out_edges = []
+        for i, j, d, xi, yi, xj, yj in solver.edges_info:
+            if m1 <= xi <= m2:
+                if xj > m2:
+                    out_edges.append((i, j, d))
+                elif xj >= m1 and yi != yj:
+                    v_edges.append((yi, yj, d))
+        self.v_edges = v_edges
+        self.out_edges = out_edges
+        # Row prefix aggregates, index g = rows 1..g (0 empty).
+        gmax = self.ymax
+        desc, anc, weights = solver.desc, solver.anc, spg.weights
+        pmask = [0] * (gmax + 1)
+        pwork = [0.0] * (gmax + 1)
+        row_desc = [0] * (gmax + 1)
+        row_anc = [0] * (gmax + 1)
+        for g in range(1, gmax + 1):
+            row = self.rows.get(g, ())
+            rm = rd = ra = 0
+            rw = 0.0
+            for i in row:
+                rm |= 1 << i
+                rw += weights[i]
+                rd |= desc[i]
+                ra |= anc[i]
+            pmask[g] = pmask[g - 1] | rm
+            pwork[g] = pwork[g - 1] + rw
+            row_desc[g] = rd
+            row_anc[g] = ra
+        self._pmask = pmask
+        self._pwork = pwork
+        self._row_desc = row_desc
+        self._row_anc = row_anc
         # cluster cache: (g1, g2] -> (energy, speed, work) or None
         self._cluster: dict[tuple[int, int], tuple[float, float] | None] = {}
         self._solver = solver
+
+    def stages_of(self, g1: int, g2: int) -> list[int]:
+        """Stages of rows ``g1 < y <= g2`` in row-major order (as the
+        original mapping assembly produced them)."""
+        return [
+            i for y in range(g1 + 1, g2 + 1) for i in self.rows.get(y, [])
+        ]
 
     def cluster(self, g1: int, g2: int) -> tuple[float, float] | None:
         """(energy, speed) of rows ``g1 < y <= g2`` on one core, or None.
@@ -94,19 +132,25 @@ class _Block:
         key = (g1, g2)
         if key in self._cluster:
             return self._cluster[key]
-        stages = [i for y in range(g1 + 1, g2 + 1) for i in self.rows.get(y, [])]
+        mask = self._pmask[g2] & ~self._pmask[g1]
         solver = self._solver
-        if not stages:
+        if not mask:
             val: tuple[float, float] | None = (0.0, 0.0)
         else:
-            work = sum(solver.spg.weights[i] for i in stages)
+            work = self._pwork[g2] - self._pwork[g1]
             s = solver.model.best_feasible(work, solver.T)
-            if s is None or not convex_closure_ok(
-                mask_of(stages), solver.desc, solver.anc, solver.spg.n
-            ):
+            if s is None:
                 val = None
             else:
-                val = (solver.model.comp_energy(work, s, solver.T), s)
+                below = above = 0
+                row_desc, row_anc = self._row_desc, self._row_anc
+                for g in range(g1 + 1, g2 + 1):
+                    below |= row_desc[g]
+                    above |= row_anc[g]
+                if (below & above) & ~mask:
+                    val = None  # an outside stage sits on an inside path
+                else:
+                    val = (solver.model.comp_energy(work, s, solver.T), s)
         self._cluster[key] = val
         return val
 
@@ -125,11 +169,22 @@ class _Dpa2dSolver:
         self.anc = ancestor_masks(self.spg)
         self.xmax = self.spg.xmax
         self.ymax = self.spg.ymax
+        # Flat edge array with both endpoint labels, hoisted out of the
+        # per-block scans (same order as the edges dict).
+        labels = self.spg.labels
+        self.edges_info = tuple(
+            (i, j, d, labels[i][0], labels[i][1], labels[j][0], labels[j][1])
+            for i, j, d in self.spg.edge_list
+        )
         # Level weights for feasibility pruning of outer transitions.
         self.level_work = [0.0] * (self.xmax + 1)
         for i in range(self.spg.n):
             self.level_work[self.spg.labels[i][0]] += self.spg.weights[i]
         self._blocks: dict[tuple[int, int], _Block] = {}
+        # Inner-DP results are pure functions of (block, incoming
+        # distribution); the outer DP re-probes the same block with the
+        # same distribution from many predecessor states.
+        self._columns: dict[tuple[int, int, Distribution], _ColumnResult | None] = {}
 
     # ------------------------------------------------------------------
     def block(self, m1: int, m2: int) -> _Block:
@@ -157,6 +212,16 @@ class _Dpa2dSolver:
 
     # ------------------------------------------------------------------
     def column(self, m1: int, m2: int, din: Distribution) -> _ColumnResult | None:
+        """Inner DP result for levels ``m1..m2`` and incoming ``din`` (memoised)."""
+        key = (m1, m2, din)
+        hit = self._columns.get(key, _MISS)
+        if hit is _MISS:
+            hit = self._columns[key] = self._column_impl(m1, m2, din)
+        return hit
+
+    def _column_impl(
+        self, m1: int, m2: int, din: Distribution
+    ) -> _ColumnResult | None:
         """Inner DP: map levels ``m1..m2`` onto the ``p`` cores of a column."""
         blk = self.block(m1, m2)
         if not blk.stages:
@@ -262,9 +327,7 @@ class _Dpa2dSolver:
         for u in range(best_u):
             lo = cuts[u] if u > 0 else 0
             hi = cuts[u + 1]
-            stages = tuple(
-                i for y in range(lo + 1, hi + 1) for i in blk.rows.get(y, [])
-            )
+            stages = tuple(blk.stages_of(lo, hi))
             for y in range(lo + 1, hi + 1):
                 core_of_row[y] = u
             if stages:

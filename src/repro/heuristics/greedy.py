@@ -59,8 +59,8 @@ def _greedy_at_speed(problem: ProblemInstance, speed: float) -> Mapping | None:
     def incoming_volume(j: int, core: Core) -> float:
         """Communication volume into unassigned ``j`` from stages on ``core``."""
         return sum(
-            spg.edges[(i, j)]
-            for i in spg.preds(j)
+            d
+            for i, d in spg.in_edges(j)
             if assigned.get(i) == core
         )
 

@@ -12,6 +12,8 @@ Two routing schemes appear in the paper's heuristics:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.platform.cmp import CMPGrid, Core
 
 __all__ = ["xy_path", "snake_order", "snake_path", "manhattan"]
@@ -22,14 +24,8 @@ def manhattan(a: Core, b: Core) -> int:
     return abs(a[0] - b[0]) + abs(a[1] - b[1])
 
 
-def xy_path(src: Core, dst: Core) -> list[Core]:
-    """The XY route from ``src`` to ``dst`` (inclusive of both endpoints).
-
-    Horizontal links first (fix the column), then vertical links (fix the
-    row), as described for the Random heuristic: a communication from
-    ``C(u,v)`` to ``C(u',v')`` follows horizontal links to ``C(u,v')`` and
-    then vertical links to ``C(u',v')``.
-    """
+@lru_cache(maxsize=4096)
+def _xy_path_cached(src: Core, dst: Core) -> tuple[Core, ...]:
     (u1, v1), (u2, v2) = src, dst
     path = [(u1, v1)]
     step = 1 if v2 > v1 else -1
@@ -38,7 +34,32 @@ def xy_path(src: Core, dst: Core) -> list[Core]:
     step = 1 if u2 > u1 else -1
     for u in range(u1 + step, u2 + step, step) if u1 != u2 else []:
         path.append((u, v2))
-    return path
+    return tuple(path)
+
+
+def xy_path(src: Core, dst: Core) -> list[Core]:
+    """The XY route from ``src`` to ``dst`` (inclusive of both endpoints).
+
+    Horizontal links first (fix the column), then vertical links (fix the
+    row), as described for the Random heuristic: a communication from
+    ``C(u,v)`` to ``C(u',v')`` follows horizontal links to ``C(u,v')`` and
+    then vertical links to ``C(u',v')``.
+
+    Routes are memoised per ``(src, dst)`` pair (they are recomputed for
+    every remote edge of every candidate mapping); a fresh list is returned
+    on every call so that callers mutating their copy cannot corrupt the
+    cache.
+    """
+    return list(_xy_path_cached(src, dst))
+
+
+@lru_cache(maxsize=256)
+def _snake_order_cached(p: int, q: int) -> tuple[Core, ...]:
+    order: list[Core] = []
+    for u in range(p):
+        cols = range(q) if u % 2 == 0 else range(q - 1, -1, -1)
+        order.extend((u, v) for v in cols)
+    return tuple(order)
 
 
 def snake_order(p: int, q: int) -> list[Core]:
@@ -49,12 +70,11 @@ def snake_order(p: int, q: int) -> list[Core]:
     1 x pq uni-directional line into the grid:
 
     ``(0,0) -> (0,1) -> ... -> (0,q-1) -> (1,q-1) -> (1,q-2) -> ...``
+
+    Memoised per grid shape; returns a fresh list per call (see
+    :func:`xy_path`).
     """
-    order: list[Core] = []
-    for u in range(p):
-        cols = range(q) if u % 2 == 0 else range(q - 1, -1, -1)
-        order.extend((u, v) for v in cols)
-    return order
+    return list(_snake_order_cached(p, q))
 
 
 def snake_path(grid: CMPGrid, i: int, j: int) -> list[Core]:

@@ -8,7 +8,7 @@ Node subsets are bitmask integers (see :mod:`repro.util.bitset`).
 from __future__ import annotations
 
 from repro.spg.graph import SPG
-from repro.util.bitset import bit, iter_bits
+from repro.util.bitset import iter_bits
 
 __all__ = [
     "descendant_masks",
@@ -20,25 +20,17 @@ __all__ = [
 
 
 def descendant_masks(spg: SPG) -> list[int]:
-    """``masks[i]`` = bitset of strict descendants of stage ``i``."""
-    masks = [0] * spg.n
-    for i in reversed(spg.topological_order()):
-        m = 0
-        for j in spg.succs(i):
-            m |= bit(j) | masks[j]
-        masks[i] = m
-    return masks
+    """``masks[i]`` = bitset of strict descendants of stage ``i``.
+
+    Cached on the (immutable) SPG: heuristics that re-run on the same graph
+    at several periods share one computation.
+    """
+    return spg.descendant_masks()
 
 
 def ancestor_masks(spg: SPG) -> list[int]:
-    """``masks[i]`` = bitset of strict ancestors of stage ``i``."""
-    masks = [0] * spg.n
-    for i in spg.topological_order():
-        m = 0
-        for j in spg.preds(i):
-            m |= bit(j) | masks[j]
-        masks[i] = m
-    return masks
+    """``masks[i]`` = bitset of strict ancestors of stage ``i`` (cached)."""
+    return spg.ancestor_masks()
 
 
 def cut_volume(spg: SPG, subset: int) -> float:
@@ -49,7 +41,7 @@ def cut_volume(spg: SPG, subset: int) -> float:
     traffic of the link following ``subset`` in the Theorem-1 DP.
     """
     total = 0.0
-    for (i, j), d in spg.edges.items():
+    for i, j, d in spg.edge_list:
         if (subset >> i) & 1 and not (subset >> j) & 1:
             total += d
     return total
@@ -59,7 +51,7 @@ def out_cut_edges(spg: SPG, subset: int) -> list[tuple[int, int, float]]:
     """Edges ``(i, j, delta)`` leaving bitset ``subset``."""
     return [
         (i, j, d)
-        for (i, j), d in spg.edges.items()
+        for i, j, d in spg.edge_list
         if (subset >> i) & 1 and not (subset >> j) & 1
     ]
 

@@ -62,7 +62,9 @@ class SPG:
         acyclic, edges strictly increase ``x``).
     """
 
-    __slots__ = ("weights", "labels", "edges", "_preds", "_succs", "_topo")
+    __slots__ = (
+        "weights", "labels", "edges", "_preds", "_succs", "_topo", "_derived"
+    )
 
     def __init__(
         self,
@@ -86,7 +88,13 @@ class SPG:
             preds[j].append(i)
         self._preds = tuple(tuple(sorted(p)) for p in preds)
         self._succs = tuple(tuple(sorted(s)) for s in succs)
-        self._topo = self._toposort()
+        # The topological order is computed lazily: compositions build many
+        # intermediate SPGs (validate=False) that never ask for it.
+        self._topo: tuple[int, ...] | None = None
+        # Lazily computed derived data (label extrema, totals, adjacency
+        # arrays, reachability masks, ...).  SPGs are immutable, so entries
+        # never need invalidation; the dict is dropped on pickling.
+        self._derived: dict = {}
         if labels is None:
             labels = self._fallback_labels()
         self.labels: tuple[tuple[int, int], ...] = tuple(
@@ -95,6 +103,7 @@ class SPG:
         if len(self.labels) != n:
             raise ValueError("labels/weights length mismatch")
         if validate:
+            self.topological_order()  # eager cycle detection
             self._validate()
 
     # ------------------------------------------------------------------
@@ -113,15 +122,29 @@ class SPG:
     def sink(self) -> int:
         return self.n - 1
 
+    def cached(self, key: str, factory: Callable[[], object]):
+        """Fetch derived data from the per-instance cache, computing once.
+
+        The cache holds anything recomputable from the immutable graph:
+        label extrema, adjacency arrays, reachability bitmasks, the ideal
+        lattice of the DP heuristics.  ``factory`` runs at most once per
+        key for the lifetime of the SPG.
+        """
+        try:
+            return self._derived[key]
+        except KeyError:
+            value = self._derived[key] = factory()
+            return value
+
     @property
     def xmax(self) -> int:
         """Length of the SPG: the ``x`` label of the sink."""
-        return max(x for x, _ in self.labels)
+        return self.cached("xmax", lambda: max(x for x, _ in self.labels))
 
     @property
     def ymax(self) -> int:
         """Elevation of the SPG: the maximal ``y`` label."""
-        return max(y for _, y in self.labels)
+        return self.cached("ymax", lambda: max(y for _, y in self.labels))
 
     def preds(self, i: int) -> tuple[int, ...]:
         """Immediate predecessors of stage ``i``."""
@@ -136,18 +159,85 @@ class SPG:
         return self.edges.get((i, j), 0.0)
 
     def topological_order(self) -> tuple[int, ...]:
-        """A topological ordering of the stages."""
+        """A topological ordering of the stages (computed once, lazily)."""
+        if self._topo is None:
+            self._topo = self._toposort()
         return self._topo
+
+    @property
+    def edge_list(self) -> tuple[tuple[int, int, float], ...]:
+        """Edges as an immutable ``(i, j, delta)`` array (dict order).
+
+        Hot loops iterate this flat tuple instead of ``edges.items()``;
+        the order matches the ``edges`` dict so float accumulations are
+        bit-identical either way.
+        """
+        return self.cached(
+            "edge_list",
+            lambda: tuple((i, j, d) for (i, j), d in self.edges.items()),
+        )
+
+    def in_edges(self, j: int) -> tuple[tuple[int, float], ...]:
+        """Incoming ``(pred, delta)`` pairs of stage ``j`` (sorted by pred)."""
+        return self._in_edges_table()[j]
+
+    def out_edges(self, i: int) -> tuple[tuple[int, float], ...]:
+        """Outgoing ``(succ, delta)`` pairs of stage ``i`` (sorted by succ)."""
+        return self._out_edges_table()[i]
+
+    def _in_edges_table(self) -> tuple:
+        return self.cached(
+            "in_edges",
+            lambda: tuple(
+                tuple((i, self.edges[(i, j)]) for i in self._preds[j])
+                for j in range(self.n)
+            ),
+        )
+
+    def _out_edges_table(self) -> tuple:
+        return self.cached(
+            "out_edges",
+            lambda: tuple(
+                tuple((j, self.edges[(i, j)]) for j in self._succs[i])
+                for i in range(self.n)
+            ),
+        )
+
+    def descendant_masks(self) -> list[int]:
+        """``masks[i]`` = bitset of strict descendants of stage ``i`` (cached)."""
+        return self.cached("desc_masks", self._descendant_masks)
+
+    def ancestor_masks(self) -> list[int]:
+        """``masks[i]`` = bitset of strict ancestors of stage ``i`` (cached)."""
+        return self.cached("anc_masks", self._ancestor_masks)
+
+    def _descendant_masks(self) -> list[int]:
+        masks = [0] * self.n
+        for i in reversed(self.topological_order()):
+            m = 0
+            for j in self._succs[i]:
+                m |= (1 << j) | masks[j]
+            masks[i] = m
+        return masks
+
+    def _ancestor_masks(self) -> list[int]:
+        masks = [0] * self.n
+        for i in self.topological_order():
+            m = 0
+            for j in self._preds[i]:
+                m |= (1 << j) | masks[j]
+            masks[i] = m
+        return masks
 
     @property
     def total_work(self) -> float:
         """Sum of all computation requirements."""
-        return sum(self.weights)
+        return self.cached("total_work", lambda: sum(self.weights))
 
     @property
     def total_comm(self) -> float:
         """Sum of all communication volumes."""
-        return sum(self.edges.values())
+        return self.cached("total_comm", lambda: sum(self.edges.values()))
 
     @property
     def ccr(self) -> float:
@@ -237,7 +327,7 @@ class SPG:
     def _fallback_labels(self) -> list[tuple[int, int]]:
         n = self.n
         depth = [1] * n
-        for i in self._topo:
+        for i in self.topological_order():
             for j in self._succs[i]:
                 depth[j] = max(depth[j], depth[i] + 1)
         seen: dict[int, int] = {}
@@ -288,6 +378,17 @@ class SPG:
         return hash(
             (self.weights, self.labels, tuple(sorted(self.edges.items())))
         )
+
+    # ------------------------------------------------------------------
+    # Pickling (the parallel experiment engine ships SPGs to workers).
+    # The derived-data cache is dropped: workers rebuild what they need.
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        return (_unpickle_spg, (self.weights, self.labels, self.edges))
+
+
+def _unpickle_spg(weights, labels, edges) -> "SPG":
+    return SPG(list(weights), list(labels), edges, validate=False)
 
 
 def sp_edge(w_src: float, w_dst: float, delta: float) -> SPG:

@@ -1,0 +1,86 @@
+"""Golden-equivalence guard for the fast evaluation core.
+
+``tests/data/golden_seed_outputs.json`` records periods, per-heuristic
+energies (as ``repr`` strings, i.e. byte-exact doubles) and failure
+patterns produced by the *seed* implementation on fixed seeds, captured
+before the array-backed caches, the prefix-sum DP rewrites and the
+parallel experiment engine landed.  These tests re-run the same sweeps and
+require bit-identical outputs, serially and through the process pool.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_random_experiment, run_streamit_experiment
+from repro.platform.cmp import CMPGrid
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_seed_outputs.json"
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _snap_records(records) -> dict:
+    out = {}
+    for rec in records:
+        out[rec.label] = {
+            "period": rec.period,
+            "energies": {
+                name: (repr(r.total_energy) if r.ok else None)
+                for name, r in rec.results.items()
+            },
+        }
+    return out
+
+
+def _run_random(jobs: int):
+    exp = run_random_experiment(
+        n=30, grid=CMPGrid(3, 3), ccr=1.0,
+        elevations=(2, 4), replicates=2, seed=7, jobs=jobs,
+    )
+    return _snap_records(r for recs in exp.records.values() for r in recs)
+
+
+def _run_streamit(jobs: int):
+    exp = run_streamit_experiment(
+        CMPGrid(4, 4), ccrs=(None, 1.0), workflows=(1, 5), seed=3, jobs=jobs,
+    )
+    return _snap_records(exp.records.values())
+
+
+class TestRandomPanelGolden:
+    def test_serial_matches_seed_bit_for_bit(self, golden):
+        want = golden["random_n30_3x3_ccr1_seed7"]
+        got = _run_random(jobs=1)
+        assert got == want
+
+    def test_parallel_matches_seed_bit_for_bit(self, golden):
+        want = golden["random_n30_3x3_ccr1_seed7"]
+        got = _run_random(jobs=2)
+        assert got == want
+
+
+class TestStreamItGolden:
+    def test_serial_matches_seed_bit_for_bit(self, golden):
+        want = golden["streamit_w1_w5_4x4_seed3"]
+        got = _run_streamit(jobs=1)
+        assert got == want
+
+
+class TestSuccessCounts:
+    def test_failure_pattern_matches_seed(self, golden):
+        """Success/failure per heuristic is part of the golden contract."""
+        want = golden["random_n30_3x3_ccr1_seed7"]
+        got = _run_random(jobs=1)
+        for label, rec in want.items():
+            for name, energy_repr in rec["energies"].items():
+                assert (got[label]["energies"][name] is None) == (
+                    energy_repr is None
+                )
