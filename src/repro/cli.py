@@ -5,6 +5,8 @@ Subcommands
 
 ``workflows``
     List the synthesised StreamIt suite with its Table-1 characteristics.
+``platform``
+    List the registered platform topologies, or describe one.
 ``map``
     Map one workflow (or a random SPG) onto a CMP with one heuristic and
     print the mapping, energy breakdown and link utilisation.
@@ -14,11 +16,19 @@ Subcommands
 ``experiment``
     Re-run one of the paper's experiments (fig8/fig9/table2 subsets) and
     print/export the tables.
+``sweep``
+    Fan a {topology, size, CCR, app} cross-product over the parallel
+    engine and emit a consolidated JSON report.
+
+``map``, ``compare``, ``experiment`` and ``sweep`` accept ``--topology``
+(default ``mesh``, the paper's platform); ``repro platform list`` shows
+the alternatives.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.evaluate import energy, latency
@@ -30,11 +40,13 @@ from repro.core.visualize import (
 )
 from repro.experiments import (
     choose_period,
+    run_scenario_sweep,
     run_streamit_experiment,
     streamit_csv,
+    sweep_summary,
 )
 from repro.heuristics.base import PAPER_ORDER, run
-from repro.platform.cmp import CMPGrid
+from repro.platform.topology import TOPOLOGIES, get_topology, topology_names
 from repro.spg.random_gen import random_spg
 from repro.spg.streamit import STREAMIT_TABLE1, streamit_workflow
 from repro.util.fmt import format_table
@@ -42,10 +54,10 @@ from repro.util.fmt import format_table
 __all__ = ["main", "build_parser"]
 
 
-def _grid(spec: str) -> CMPGrid:
+def _grid(spec: str) -> tuple[int, int]:
     try:
         p, q = spec.lower().split("x")
-        return CMPGrid(int(p), int(q))
+        return int(p), int(q)
     except Exception:
         raise argparse.ArgumentTypeError(
             f"grid must look like '4x4', got {spec!r}"
@@ -69,6 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workflows", help="list the StreamIt suite (Table 1)")
 
+    p_plat = sub.add_parser(
+        "platform", help="list or describe the registered topologies"
+    )
+    p_plat.add_argument("action", choices=["list", "describe"])
+    p_plat.add_argument("name", nargs="?", default=None,
+                        help="topology to describe")
+    p_plat.add_argument("--grid", type=_grid, default=(4, 4),
+                        help="platform size for describe (default 4x4)")
+
+    def add_topology_arg(p):
+        p.add_argument(
+            "--topology", default="mesh", choices=topology_names(),
+            help="platform topology (default mesh; see 'repro platform "
+                 "list')",
+        )
+
     def add_instance_args(p):
         p.add_argument(
             "--workflow", "-w", default="FMRadio",
@@ -78,8 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--random", type=int, metavar="N", default=None,
             help="use a random SPG with N stages instead of a workflow",
         )
-        p.add_argument("--grid", type=_grid, default=CMPGrid(4, 4),
+        p.add_argument("--grid", type=_grid, default=(4, 4),
                        help="CMP size, e.g. 4x4 (default)")
+        add_topology_arg(p)
         p.add_argument("--ccr", type=float, default=None,
                        help="rescale the CCR (default: original)")
         p.add_argument("--period", "-T", type=float, default=None,
@@ -104,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Table-1 indices (default: all 12)")
     p_exp.add_argument("--ccr", type=float, nargs="*", default=None,
                        help="CCR settings (default: orig 10 1 0.1)")
+    add_topology_arg(p_exp)
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--csv", metavar="PATH", default=None,
                        help="also export the records as CSV")
@@ -111,6 +141,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep (0 = all "
                             "CPUs; results are identical for any value; "
                             "default 1 = serial)")
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="scenario sweep: {topology, size, CCR, app} cross-product",
+    )
+    p_sw.add_argument("--topologies", nargs="+", default=["mesh", "torus"],
+                      choices=topology_names(), metavar="NAME",
+                      help="topologies to sweep (default: mesh torus)")
+    p_sw.add_argument("--sizes", type=_grid, nargs="+", default=[(3, 3)],
+                      metavar="PxQ",
+                      help="platform sizes (default: 3x3)")
+    p_sw.add_argument("--ccr", type=float, nargs="+", default=[10.0],
+                      help="CCR settings (default: 10)")
+    p_sw.add_argument("--apps", nargs="+", default=["random-20"],
+                      metavar="APP",
+                      help="application classes: random-N or a StreamIt "
+                           "name/index (default: random-20)")
+    p_sw.add_argument("--replicates", type=int, default=1)
+    p_sw.add_argument("--seed", type=int, default=0)
+    p_sw.add_argument("--jobs", "-j", type=int, default=1,
+                      help="worker processes (0 = all CPUs; results are "
+                           "identical for any value)")
+    p_sw.add_argument("--out", metavar="PATH", default=None,
+                      help="write the consolidated JSON report here")
     return parser
 
 
@@ -126,9 +180,40 @@ def cmd_workflows(_args, out) -> int:
     return 0
 
 
+def cmd_platform(args, out) -> int:
+    if args.action == "list":
+        rows = [
+            [name, TOPOLOGIES[name].summary] for name in topology_names()
+        ]
+        print(format_table(
+            ["name", "description"], rows,
+            title="Registered platform topologies",
+        ), file=out)
+        return 0
+    if args.name is None:
+        print("platform describe needs a topology name", file=out)
+        return 2
+    try:
+        topo = get_topology(args.name, *args.grid)
+    except KeyError as exc:
+        print(str(exc.args[0]), file=out)
+        return 2
+    print(topo.describe(), file=out)
+    order = topo.line_order()
+    if len(order) > 1:
+        print(
+            f"line embedding: {order[0]} -> {order[1]} -> ... -> "
+            f"{order[-1]}",
+            file=out,
+        )
+        sample = topo.route(order[0], order[-1])
+        print(f"sample route {order[0]} -> {order[-1]}: {sample}", file=out)
+    return 0
+
+
 def cmd_map(args, out) -> int:
     label, app = _load_app(args)
-    grid = args.grid
+    grid = get_topology(args.topology, *args.grid)
     T = args.period
     if T is None:
         T = choose_period(app, grid, rng=args.seed).period
@@ -158,7 +243,7 @@ def cmd_map(args, out) -> int:
 
 def cmd_compare(args, out) -> int:
     label, app = _load_app(args)
-    grid = args.grid
+    grid = get_topology(args.topology, *args.grid)
     if args.period is not None:
         prob = ProblemInstance(app, grid, args.period)
         from repro.experiments import run_all
@@ -190,7 +275,8 @@ def cmd_compare(args, out) -> int:
 
 
 def cmd_experiment(args, out) -> int:
-    grid = CMPGrid(4, 4) if args.which == "fig8" else CMPGrid(6, 6)
+    size = 4 if args.which == "fig8" else 6
+    grid = get_topology(args.topology, size, size)
     ccrs = tuple(args.ccr) if args.ccr else (None, 10.0, 1.0, 0.1)
     workflows = tuple(args.workflows) if args.workflows else None
     exp = run_streamit_experiment(
@@ -205,16 +291,38 @@ def cmd_experiment(args, out) -> int:
     return 0
 
 
+def cmd_sweep(args, out) -> int:
+    report = run_scenario_sweep(
+        topologies=args.topologies,
+        sizes=args.sizes,
+        ccrs=args.ccr,
+        apps=args.apps,
+        replicates=args.replicates,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    print(sweep_summary(report), file=out)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"JSON report written to {args.out}", file=out)
+    return 0
+
+
 def main(argv=None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "workflows":
         return cmd_workflows(args, out)
+    if args.command == "platform":
+        return cmd_platform(args, out)
     if args.command == "map":
         return cmd_map(args, out)
     if args.command == "compare":
         return cmd_compare(args, out)
     if args.command == "experiment":
         return cmd_experiment(args, out)
+    if args.command == "sweep":
+        return cmd_sweep(args, out)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -91,13 +91,18 @@ def energy(mapping: Mapping, period: float) -> EnergyBreakdown:
     ``E(comp) = |A| P_leak T + sum_cores (w/s) P_dyn(s)`` and
     ``E(comm) = P_leak^comm T + sum_links bits * E_bit``.
     """
-    model = mapping.grid.model
+    grid = mapping.grid
+    model = grid.model
     active = mapping.active_cores()
     comp_leak = len(active) * model.comp_leak * period
     comp_dyn = 0.0
+    # Homogeneous platforms (the common case) skip the per-core model
+    # lookup entirely; heterogeneous ones resolve each core's scaled model.
+    core_model = grid.core_model if grid.speed_scales else None
     for core, work in mapping.core_work().items():
         s = mapping.speeds[core]
-        comp_dyn += (work / s) * model.power_at(s)
+        m = core_model(core) if core_model is not None else model
+        comp_dyn += (work / s) * m.power_at(s)
     comm_leak = model.comm_leak * period
     comm_dyn = sum(
         model.comm_energy(traffic)

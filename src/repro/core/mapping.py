@@ -3,8 +3,9 @@
 A mapping (Section 3.3) is defined by an allocation function from stages to
 cores, a speed per active core, and, for every application edge whose
 endpoints land on distinct cores, the path of links used to route the
-communication.  Paths default to XY routing but heuristics may override
-them (the 1D heuristics route along the snake).
+communication.  Paths default to the platform topology's routing policy
+(XY on the mesh) but heuristics may override them (the 1D heuristics route
+along the topology's line embedding).
 """
 
 from __future__ import annotations
@@ -13,8 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import MappingError
 from repro.core.partition import is_acyclic_quotient
-from repro.platform.cmp import CMPGrid, Core
-from repro.platform.routing import xy_path
+from repro.platform.cmp import Core
+from repro.platform.topology import Topology
 from repro.spg.graph import SPG
 from repro.util.fmt import format_grid
 
@@ -30,29 +31,33 @@ class Mapping:
     Attributes
     ----------
     spg, grid:
-        The application and platform.
+        The application and platform topology (the paper's mesh or any
+        other registered fabric).
     alloc:
         ``alloc[i]`` is the core executing stage ``i`` (all stages mapped).
     speeds:
-        ``speeds[core]`` for every active core, in Hz (a member of the
-        platform's speed set).
+        ``speeds[core]`` for every active core, in Hz (a member of that
+        core's speed set — per-core sets may be scaled on heterogeneous
+        platforms).
     paths:
         ``paths[(i, j)]`` is the core path (inclusive) routing edge
         ``(i, j)``; edges whose endpoints share a core need no entry.
-        Missing paths for remote edges are filled with XY routes.
+        Missing paths for remote edges are filled with the topology's
+        routing policy (XY routes on the mesh).
     """
 
     spg: SPG
-    grid: CMPGrid
+    grid: Topology
     alloc: dict[int, Core]
     speeds: dict[Core, float]
     paths: dict[Edge, list[Core]] = field(default_factory=dict)
     _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        route = self.grid.route
         for (i, j) in self.remote_edges():
             if (i, j) not in self.paths:
-                self.paths[(i, j)] = xy_path(self.alloc[i], self.alloc[j])
+                self.paths[(i, j)] = route(self.alloc[i], self.alloc[j])
 
     # ------------------------------------------------------------------
     # Views
@@ -137,8 +142,8 @@ class Mapping:
     def check_structure(self, require_dag_partition: bool = True) -> None:
         """Raise :class:`MappingError` on any structural violation.
 
-        Checks: total allocation onto in-bounds cores, speeds belong to the
-        platform's speed set and cover all active cores, paths connect the
+        Checks: total allocation onto in-bounds cores, speeds belong to
+        each core's speed set and cover all active cores, paths connect the
         right cores over valid links, and — unless ``require_dag_partition``
         is false (*general mappings*, the paper's Section-7 future work) —
         that the clustering is a DAG-partition (acyclic quotient).
@@ -149,12 +154,11 @@ class Mapping:
         for i, c in self.alloc.items():
             if not grid.in_bounds(c):
                 raise MappingError(f"stage {i} mapped outside the grid: {c}")
-        speed_set = set(grid.model.speeds)
         for c in self.active_cores():
             s = self.speeds.get(c)
             if s is None:
                 raise MappingError(f"active core {c} has no speed")
-            if s not in speed_set:
+            if s not in grid.speed_set(c):
                 raise MappingError(f"core {c} speed {s} not in the DVFS set")
         for (i, j) in self.remote_edges():
             path = self.paths.get((i, j))
@@ -187,7 +191,7 @@ class Mapping:
     @staticmethod
     def from_clusters(
         spg: SPG,
-        grid: CMPGrid,
+        grid: Topology,
         clusters: dict[Core, list[int]],
         period: float,
         paths: dict[Edge, list[Core]] | None = None,
@@ -195,7 +199,8 @@ class Mapping:
         """Build a mapping from a core -> stages dictionary.
 
         Each core is assigned the energy-optimal speed meeting the period
-        for its workload (see :meth:`PowerModel.best_feasible`); raises
+        for its workload (see :meth:`PowerModel.best_feasible`, applied to
+        that core's own — possibly scaled — model); raises
         :class:`MappingError` when a cluster cannot meet the period at top
         speed.
         """
@@ -206,10 +211,9 @@ class Mapping:
                     raise MappingError(f"stage {i} appears in two clusters")
                 alloc[i] = c
         speeds: dict[Core, float] = {}
-        model = grid.model
         for c, stages in clusters.items():
             work = sum(spg.weights[i] for i in stages)
-            s = model.best_feasible(work, period)
+            s = grid.core_model(c).best_feasible(work, period)
             if s is None:
                 raise MappingError(
                     f"cluster on {c} (work {work:.3g}) cannot meet T={period}"

@@ -10,7 +10,7 @@ from dataclasses import dataclass
 
 from repro.core.evaluate import EnergyBreakdown, validate
 from repro.core.mapping import Mapping
-from repro.platform.cmp import CMPGrid
+from repro.platform.topology import Topology
 from repro.spg.graph import SPG
 
 __all__ = ["ProblemInstance"]
@@ -21,7 +21,7 @@ class ProblemInstance:
     """One MinEnergy(T) instance."""
 
     spg: SPG
-    grid: CMPGrid
+    grid: Topology
     period: float
 
     def __post_init__(self) -> None:

@@ -18,6 +18,12 @@ from repro.experiments.random_experiments import (
     DEFAULT_ELEVATIONS,
 )
 from repro.experiments.parallel import resolve_jobs, run_tasks
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    build_scenarios,
+    run_scenario_sweep,
+    sweep_summary,
+)
 from repro.experiments.report import (
     random_csv,
     random_markdown,
@@ -45,4 +51,8 @@ __all__ = [
     "streamit_markdown",
     "resolve_jobs",
     "run_tasks",
+    "ScenarioSpec",
+    "build_scenarios",
+    "run_scenario_sweep",
+    "sweep_summary",
 ]

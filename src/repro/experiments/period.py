@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.core.problem import ProblemInstance
 from repro.heuristics.base import PAPER_ORDER, HeuristicResult, run
-from repro.platform.cmp import CMPGrid
+from repro.platform.topology import Topology
 from repro.spg.graph import SPG
 from repro.util.rng import as_rng
 
@@ -55,7 +55,7 @@ def run_all(
 
 def choose_period(
     spg: SPG,
-    grid: CMPGrid,
+    grid: Topology,
     heuristics=PAPER_ORDER,
     start: float = 1.0,
     factor: float = 10.0,

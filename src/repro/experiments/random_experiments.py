@@ -18,7 +18,7 @@ from repro.experiments.runner import (
     normalized_inverse_energy,
 )
 from repro.heuristics.base import PAPER_ORDER
-from repro.platform.cmp import CMPGrid
+from repro.platform.topology import Topology
 from repro.spg.random_gen import random_spg_with_elevation
 from repro.util.fmt import format_table
 from repro.util.rng import as_rng
@@ -34,7 +34,7 @@ class RandomExperiment:
     """Results of one (n, grid, CCR) sweep over elevation bins."""
 
     n: int
-    grid: CMPGrid
+    grid: Topology
     ccr: float
     records: dict[int, list[InstanceRecord]]  # elevation -> replicates
     heuristics: tuple[str, ...]
@@ -84,7 +84,7 @@ class RandomExperiment:
 
 def run_random_experiment(
     n: int,
-    grid: CMPGrid,
+    grid: Topology,
     ccr: float,
     elevations=DEFAULT_ELEVATIONS,
     replicates: int = 10,

@@ -1,0 +1,251 @@
+"""Scenario sweep engine: cross-products over the platform registry.
+
+The ROADMAP's north star asks for "as many scenarios as you can imagine";
+this module fans a cross-product of **{topology, platform size, CCR,
+application class}** over the PR-1 parallel experiment engine and emits
+one consolidated, JSON-serialisable report.
+
+Each scenario instance runs the full divide-by-10 period selection plus
+every requested heuristic (independently re-validated by
+:func:`repro.heuristics.base.run`, so every route in the report passed
+``Topology.validate_path``).  Instances and heuristic seeds are generated
+serially in the parent in a fixed order, then executed through
+:func:`repro.experiments.parallel.run_tasks` — results are bit-identical
+for any ``jobs`` value, exactly as in the figure sweeps.
+
+CLI: ``repro sweep --topologies mesh torus benes --sizes 3x3 4x4
+--ccr 1 10 --apps random-20 FMRadio --replicates 2 --jobs 0 --out r.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.parallel import random_panel_task, run_tasks
+from repro.experiments.period import PeriodChoice
+from repro.heuristics.base import PAPER_ORDER
+from repro.platform.topology import Topology, get_topology
+from repro.spg.random_gen import random_spg
+from repro.util.fmt import format_table
+from repro.util.rng import as_rng
+
+__all__ = [
+    "ScenarioSpec",
+    "build_scenarios",
+    "run_scenario_sweep",
+    "sweep_summary",
+    "parse_size",
+]
+
+#: Default axes for a small but representative sweep.
+DEFAULT_TOPOLOGIES = ("mesh", "torus", "ring", "benes", "hetmesh")
+DEFAULT_SIZES = ("3x3",)
+DEFAULT_CCRS = (10.0, 1.0)
+DEFAULT_APPS = ("random-20",)
+
+
+def parse_size(spec: "str | tuple[int, int]") -> tuple[int, int]:
+    """Parse a platform size like ``'4x4'`` (tuples pass through)."""
+    if isinstance(spec, tuple):
+        p, q = spec
+        return int(p), int(q)
+    try:
+        p, q = spec.lower().split("x")
+        return int(p), int(q)
+    except Exception:
+        raise ValueError(f"size must look like '4x4', got {spec!r}") from None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One point of the sweep cross-product."""
+
+    topology: str
+    p: int
+    q: int
+    ccr: float | None  # None = the application's original CCR
+    app: str  # "random-N" or a StreamIt name/index
+
+    @property
+    def size(self) -> str:
+        return f"{self.p}x{self.q}"
+
+    def label(self) -> str:
+        ccr = "orig" if self.ccr is None else f"{self.ccr:g}"
+        return f"{self.topology}/{self.size}/ccr={ccr}/{self.app}"
+
+    def build_platform(self, model=None) -> Topology:
+        return get_topology(self.topology, self.p, self.q, model)
+
+    def build_app(self, rng, seed: int):
+        """Synthesise the application SPG for one replicate.
+
+        Random apps consume the shared ``rng`` stream (one draw per
+        replicate, in sweep order); StreamIt workflows are deterministic
+        functions of the sweep ``seed``.
+        """
+        if self.app.startswith("random-"):
+            n = int(self.app.split("-", 1)[1])
+            return random_spg(n, rng=rng, ccr=self.ccr)
+        from repro.spg.streamit import streamit_workflow
+
+        which: "int | str" = self.app
+        if isinstance(which, str) and which.isdigit():
+            which = int(which)
+        return streamit_workflow(which, ccr=self.ccr, seed=seed)
+
+
+def build_scenarios(
+    topologies=DEFAULT_TOPOLOGIES,
+    sizes=DEFAULT_SIZES,
+    ccrs=DEFAULT_CCRS,
+    apps=DEFAULT_APPS,
+) -> list[ScenarioSpec]:
+    """The cross-product, in deterministic sweep order."""
+    out: list[ScenarioSpec] = []
+    for topo in topologies:
+        for size in sizes:
+            p, q = parse_size(size)
+            for ccr in ccrs:
+                for app in apps:
+                    out.append(ScenarioSpec(topo, p, q, ccr, app))
+    return out
+
+
+def _snap_choice(
+    choice: PeriodChoice, heuristics: tuple[str, ...]
+) -> tuple[dict, dict[str, bool]]:
+    """One record's JSON snapshot plus its per-heuristic success flags.
+
+    Every successful mapping is structurally re-checked here (routes
+    through ``validate_path``, speeds in the per-core DVFS sets, acyclic
+    quotient) so the report's ``routes_validated`` counts are asserted on
+    the report path itself, not only inside the worker.
+    """
+    results: dict[str, dict] = {}
+    ok_flags: dict[str, bool] = {}
+    routes = 0
+    for name in heuristics:
+        r = choice.results[name]
+        ok_flags[name] = r.ok
+        if r.ok:
+            r.mapping.check_structure()
+            routes += len(r.mapping.remote_edges())
+            results[name] = {
+                "ok": True,
+                "energy": r.energy.total,
+                "active_cores": len(r.mapping.active_cores()),
+            }
+        else:
+            results[name] = {"ok": False, "failure": r.failure}
+    best = min(
+        (r.total_energy for r in choice.results.values()),
+        default=float("inf"),
+    )
+    record = {
+        "period": choice.period,
+        "best_energy": None if best == float("inf") else best,
+        "routes_validated": routes,
+        "results": results,
+    }
+    return record, ok_flags
+
+
+def run_scenario_sweep(
+    topologies=DEFAULT_TOPOLOGIES,
+    sizes=DEFAULT_SIZES,
+    ccrs=DEFAULT_CCRS,
+    apps=DEFAULT_APPS,
+    replicates: int = 1,
+    seed: int = 0,
+    heuristics=PAPER_ORDER,
+    options: dict | None = None,
+    jobs: int | None = 1,
+) -> dict:
+    """Run the sweep and return the consolidated JSON-serialisable report.
+
+    ``jobs`` fans the per-instance ``choose_period`` runs over the PR-1
+    process pool (``None``/``0`` = all CPUs); instances and heuristic
+    seeds are pre-drawn serially so results match a serial run bit for
+    bit.
+    """
+    rng = as_rng(seed)
+    heuristics = tuple(heuristics)
+    scenarios = build_scenarios(topologies, sizes, ccrs, apps)
+    tasks = []
+    task_meta: list[tuple[int, str]] = []  # (scenario index, label)
+    platforms: list[Topology] = []
+    for s_idx, spec in enumerate(scenarios):
+        platform = spec.build_platform()
+        platforms.append(platform)
+        for rep in range(replicates):
+            spg = spec.build_app(rng, seed)
+            hseed = int(rng.integers(0, 2**63 - 1))
+            tasks.append((spg, platform, heuristics, hseed, options))
+            task_meta.append((s_idx, f"{spec.label()}/rep{rep}"))
+    choices = run_tasks(random_panel_task, tasks, jobs=jobs)
+
+    per_scenario: list[dict] = []
+    for s_idx, spec in enumerate(scenarios):
+        platform = platforms[s_idx]
+        per_scenario.append({
+            "topology": spec.topology,
+            "size": spec.size,
+            "cores": platform.n_cores,
+            "heterogeneous": platform.heterogeneous,
+            "ccr": spec.ccr,
+            "app": spec.app,
+            "records": [],
+            "failures": {h: 0 for h in heuristics},
+            "instances": 0,
+        })
+    for (s_idx, label), choice in zip(task_meta, choices):
+        record, ok_flags = _snap_choice(choice, heuristics)
+        record["label"] = label
+        entry = per_scenario[s_idx]
+        entry["records"].append(record)
+        entry["instances"] += 1
+        for h, ok in ok_flags.items():
+            if not ok:
+                entry["failures"][h] += 1
+    return {
+        "meta": {
+            "seed": seed,
+            "replicates": replicates,
+            "heuristics": list(heuristics),
+            "scenario_count": len(scenarios),
+            "instance_count": len(tasks),
+        },
+        "scenarios": per_scenario,
+    }
+
+
+def sweep_summary(report: dict) -> str:
+    """Render one ASCII table summarising a sweep report."""
+    heuristics = report["meta"]["heuristics"]
+    rows = []
+    for sc in report["scenarios"]:
+        n = sc["instances"]
+        ccr = "orig" if sc["ccr"] is None else f"{sc['ccr']:g}"
+        cells = [
+            f"{n - sc['failures'][h]}/{n}" for h in heuristics
+        ]
+        routes = sum(r["routes_validated"] for r in sc["records"])
+        rows.append([
+            sc["topology"] + ("*" if sc["heterogeneous"] else ""),
+            sc["size"],
+            sc["cores"],
+            ccr,
+            sc["app"],
+            *cells,
+            routes,
+        ])
+    return format_table(
+        ["topology", "size", "cores", "ccr", "app", *heuristics, "routes"],
+        rows,
+        title=(
+            f"Scenario sweep: {report['meta']['scenario_count']} scenarios, "
+            f"{report['meta']['instance_count']} instances "
+            f"(successes per heuristic; * = heterogeneous speeds)"
+        ),
+    )

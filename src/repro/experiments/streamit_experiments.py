@@ -17,7 +17,7 @@ from repro.experiments.runner import (
     normalized_energy,
 )
 from repro.heuristics.base import PAPER_ORDER
-from repro.platform.cmp import CMPGrid
+from repro.platform.topology import Topology
 from repro.spg.streamit import STREAMIT_TABLE1
 from repro.util.fmt import format_table
 from repro.util.rng import as_rng
@@ -32,7 +32,7 @@ CCR_SETTINGS: tuple[float | None, ...] = (None, 10.0, 1.0, 0.1)
 class StreamItExperiment:
     """Results of one grid size's sweep over workflows and CCRs."""
 
-    grid: CMPGrid
+    grid: Topology
     records: dict[tuple[int, float | None], InstanceRecord]
     heuristics: tuple[str, ...]
 
@@ -83,7 +83,7 @@ class StreamItExperiment:
 
 
 def run_streamit_experiment(
-    grid: CMPGrid,
+    grid: Topology,
     ccrs=CCR_SETTINGS,
     workflows: tuple[int, ...] | None = None,
     seed: int = 0,

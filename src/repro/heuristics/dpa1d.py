@@ -29,7 +29,6 @@ from repro.core.mapping import Mapping
 from repro.core.partition import IdealLattice
 from repro.core.problem import ProblemInstance
 from repro.heuristics.base import register
-from repro.platform.routing import snake_order
 from repro.util.bitset import bits_of
 
 __all__ = ["dpa1d_mapping", "solve_uniline"]
@@ -351,24 +350,44 @@ def dpa1d_mapping(
     ideal_budget: int = 120_000,
     transition_budget: int = 1_000_000,
 ) -> Mapping:
-    """Optimal 1D clustering mapped along the snake of the 2D grid."""
+    """Optimal 1D clustering mapped along the topology's line embedding.
+
+    On the mesh this is the snake of Section 5.4 (and the DP is optimal
+    for the uni-line platform); on other fabrics the clusters are laid
+    along :meth:`Topology.line_order` and routed with
+    :meth:`Topology.line_path`.  On heterogeneous platforms the DP runs
+    on the base speed set and each cluster's speed is refitted to its
+    actual core afterwards (failing if the core is too slow).
+    """
     grid = problem.grid
+    spg = problem.spg
     _, clusters, speeds = solve_uniline(
         problem, grid.n_cores, ideal_budget, transition_budget
     )
-    order = snake_order(grid.p, grid.q)
+    order = grid.line_order()
+    het = grid.heterogeneous
     alloc: dict[int, tuple[int, int]] = {}
     speed_map: dict[tuple[int, int], float] = {}
     position: dict[int, int] = {}
     for t, cluster in enumerate(clusters):
         core = order[t]
-        speed_map[core] = speeds[t]
+        if het:
+            work = sum(spg.weights[i] for i in cluster)
+            s = grid.core_model(core).best_feasible(work, problem.period)
+            if s is None:
+                raise HeuristicFailure(
+                    f"DPA1D: cluster {t} misses the period on scaled "
+                    f"core {core}"
+                )
+            speed_map[core] = s
+        else:
+            speed_map[core] = speeds[t]
         for stage in cluster:
             alloc[stage] = core
             position[stage] = t
     paths = {}
-    for (i, j) in problem.spg.edges:
+    for (i, j) in spg.edges:
         a, b = position[i], position[j]
         if a != b:
-            paths[(i, j)] = order[a : b + 1]
-    return Mapping(problem.spg, grid, alloc, speed_map, paths)
+            paths[(i, j)] = grid.line_path(a, b)
+    return Mapping(spg, grid, alloc, speed_map, paths)

@@ -27,8 +27,6 @@ from repro.core.errors import HeuristicFailure, MappingError
 from repro.core.mapping import Mapping
 from repro.core.problem import ProblemInstance
 from repro.heuristics.base import register
-from repro.platform.cmp import CMPGrid
-from repro.platform.routing import snake_order
 from repro.spg.analysis import ancestor_masks, descendant_masks
 
 __all__ = ["dpa2d_mapping", "dpa2d1d_mapping", "solve_dpa2d"]
@@ -406,6 +404,28 @@ class _Dpa2dSolver:
         return best_e, plans
 
 
+def _refit_speed(
+    problem: ProblemInstance, core, stages, speed: float
+) -> float:
+    """The speed of ``stages`` on ``core``, refitted to the core's own
+    (possibly scaled) model on heterogeneous platforms.
+
+    The DP plans with the base model; a scaled core re-selects the
+    energy-optimal feasible speed for the cluster's work and the refit
+    fails (``HeuristicFailure``) when the core is too slow.
+    """
+    grid = problem.grid
+    if not grid.heterogeneous:
+        return speed
+    work = sum(problem.spg.weights[i] for i in stages)
+    s = grid.core_model(core).best_feasible(work, problem.period)
+    if s is None:
+        raise HeuristicFailure(
+            f"cluster misses the period on scaled core {core}"
+        )
+    return s
+
+
 def _plans_to_mapping(
     problem: ProblemInstance,
     plans: list[ColumnPlan],
@@ -420,7 +440,7 @@ def _plans_to_mapping(
                 continue
             stages, speed = entry
             core = core_at(u, c)
-            speeds[core] = speed
+            speeds[core] = _refit_speed(problem, core, stages, speed)
             for i in stages:
                 alloc[i] = core
     mapping = Mapping(problem.spg, problem.grid, alloc, speeds)
@@ -449,14 +469,15 @@ def solve_dpa2d(
 
 @register("DPA2D1D")
 def dpa2d1d_mapping(problem: ProblemInstance, rng=None) -> Mapping:
-    """DPA2D on a virtual 1 x (p*q) line, mapped along the snake (Section 5.4)."""
+    """DPA2D on a virtual 1 x (p*q) line, mapped along the topology's
+    line embedding (the snake of Section 5.4 on the mesh)."""
     grid = problem.grid
     r = grid.n_cores
     solver = _Dpa2dSolver(problem, 1, r)
     _e, plans = solver.solve()
-    order = snake_order(grid.p, grid.q)
+    order = grid.line_order()
 
-    # Column c of the virtual line is snake position c; build snake paths.
+    # Column c of the virtual line is line position c; route along it.
     alloc: dict[int, tuple[int, int]] = {}
     speeds: dict[tuple[int, int], float] = {}
     position: dict[int, int] = {}
@@ -466,7 +487,7 @@ def dpa2d1d_mapping(problem: ProblemInstance, rng=None) -> Mapping:
             continue
         stages, speed = entry
         core = order[c]
-        speeds[core] = speed
+        speeds[core] = _refit_speed(problem, core, stages, speed)
         for i in stages:
             alloc[i] = core
             position[i] = c
@@ -476,7 +497,7 @@ def dpa2d1d_mapping(problem: ProblemInstance, rng=None) -> Mapping:
     for (i, j) in problem.spg.edges:
         a, b = position[i], position[j]
         if a != b:
-            paths[(i, j)] = order[a : b + 1]
+            paths[(i, j)] = grid.line_path(a, b)
     mapping = Mapping(problem.spg, grid, alloc, speeds, paths)
     try:
         mapping.check_structure()

@@ -37,18 +37,29 @@ from repro.platform.cmp import Core
 __all__ = ["greedy_mapping"]
 
 
-def _greedy_at_speed(problem: ProblemInstance, speed: float) -> Mapping | None:
+def _greedy_at_speed(problem: ProblemInstance, k: int) -> Mapping | None:
+    """One Greedy pass with every core clocked at its speed number ``k``.
+
+    On homogeneous platforms every core's speed ``k`` is the same value
+    and this reduces exactly to the paper's single-speed pass; on
+    heterogeneous platforms each core's computation capacity uses its own
+    (scaled) speed.
+    """
     spg, grid, T = problem.spg, problem.grid, problem.period
-    cap_work = T * speed
+
+    def cap_work(core: Core) -> float:
+        return T * grid.core_speed(core, k)
+
     cap_bytes = grid.model.link_capacity(T)
 
+    start = grid.start_core()
     assigned: dict[int, Core] = {}
     # offers[core]: stages forwarded toward that core (not yet assigned).
-    offers: dict[Core, list[int]] = {(0, 0): [spg.source]}
-    offered_at: dict[int, Core] = {spg.source: (0, 0)}
+    offers: dict[Core, list[int]] = {start: [spg.source]}
+    offered_at: dict[int, Core] = {spg.source: start}
     incoming_load: dict[Core, float] = {}
     processed: set[Core] = set()
-    queue: deque[Core] = deque([(0, 0)])
+    queue: deque[Core] = deque([start])
 
     def partial_quotient_ok() -> bool:
         # Unassigned stages act as singleton clusters: cycles can only come
@@ -71,6 +82,7 @@ def _greedy_at_speed(problem: ProblemInstance, speed: float) -> Mapping | None:
         processed.add(core)
         pool: list[int] = list(offers.pop(core, []))
         load = 0.0
+        core_cap = cap_work(core)
 
         # Absorb as much as possible: offered stages plus successors of the
         # stages already absorbed here, largest incoming volume first.
@@ -87,7 +99,7 @@ def _greedy_at_speed(problem: ProblemInstance, speed: float) -> Mapping | None:
             candidates.sort(key=lambda j: (-incoming_volume(j, core), j))
             grew = False
             for j in candidates:
-                if load + spg.weights[j] > cap_work:
+                if load + spg.weights[j] > core_cap:
                     continue
                 assigned[j] = core
                 if partial_quotient_ok():
@@ -115,16 +127,15 @@ def _greedy_at_speed(problem: ProblemInstance, speed: float) -> Mapping | None:
                     outgoing.setdefault(j, incoming_volume(j, core))
 
         if outgoing:
-            u, v = core
             targets = [
                 c
-                for c in ((u, v + 1), (u + 1, v))
-                if grid.in_bounds(c) and c not in processed
+                for c in grid.forward_neighbors(core)
+                if c not in processed
             ]
             if not targets:
                 return None
             offer_work = {
-                c: sum(spg.weights[k] for k in offers.get(c, []))
+                c: sum(spg.weights[i] for i in offers.get(c, []))
                 for c in targets
             }
             for j in sorted(outgoing, key=lambda j: (-outgoing[j], j)):
@@ -133,7 +144,7 @@ def _greedy_at_speed(problem: ProblemInstance, speed: float) -> Mapping | None:
                 roomy = [
                     c
                     for c in targets
-                    if offer_work[c] + spg.weights[j] <= cap_work
+                    if offer_work[c] + spg.weights[j] <= cap_work(c)
                 ]
                 tgt = min(
                     roomy or targets,
@@ -150,7 +161,7 @@ def _greedy_at_speed(problem: ProblemInstance, speed: float) -> Mapping | None:
 
     if len(assigned) != spg.n:
         return None
-    speeds = {c: speed for c in set(assigned.values())}
+    speeds = {c: grid.core_speed(c, k) for c in set(assigned.values())}
     mapping = Mapping(spg, grid, assigned, speeds)
     try:
         mapping.check_structure()
@@ -163,10 +174,10 @@ def _greedy_at_speed(problem: ProblemInstance, speed: float) -> Mapping | None:
 
 def _downgrade(problem: ProblemInstance, mapping: Mapping) -> Mapping:
     """Give every core the cheapest feasible speed for its final load."""
-    model = problem.grid.model
+    grid = problem.grid
     new_speeds = {}
     for core, work in mapping.core_work().items():
-        s = model.best_feasible(work, problem.period)
+        s = grid.core_model(core).best_feasible(work, problem.period)
         assert s is not None  # the mapping was feasible at the trial speed
         new_speeds[core] = s
     return Mapping(
@@ -177,11 +188,11 @@ def _downgrade(problem: ProblemInstance, mapping: Mapping) -> Mapping:
 
 @register("Greedy")
 def greedy_mapping(problem: ProblemInstance, rng=None) -> Mapping:
-    """Try every DVFS speed, return the lowest-energy valid mapping."""
+    """Try every DVFS speed level, return the lowest-energy valid mapping."""
     best: Mapping | None = None
     best_e = float("inf")
-    for s in problem.grid.model.speeds:
-        mapping = _greedy_at_speed(problem, s)
+    for k in range(len(problem.grid.model.speeds)):
+        mapping = _greedy_at_speed(problem, k)
         if mapping is None:
             continue
         e = energy(mapping, problem.period).total

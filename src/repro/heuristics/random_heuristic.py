@@ -114,7 +114,13 @@ def _random_placement(
     speeds: list[float],
     rng: np.random.Generator,
 ) -> Mapping | None:
-    """Place clusters on random distinct cores; validate period via XY routes."""
+    """Place clusters on random distinct cores; validate the period over
+    the topology's routes (XY on the mesh).
+
+    On heterogeneous platforms the drawn speed is rescaled to the chosen
+    core's own DVFS set (same speed level); the subsequent period check
+    rejects the trial when the scaled core is too slow.
+    """
     grid = problem.grid
     if len(clusters) > grid.n_cores:
         return None
@@ -123,7 +129,11 @@ def _random_placement(
     alloc = {
         stage: chosen[t] for t, cl in enumerate(clusters) for stage in cl
     }
-    speed_map = {chosen[t]: speeds[t] for t in range(len(clusters))}
+    speed_map = {}
+    for t in range(len(clusters)):
+        c = chosen[t]
+        scale = grid.speed_scale(c)
+        speed_map[c] = speeds[t] if scale == 1.0 else speeds[t] * scale
     mapping = Mapping(problem.spg, grid, alloc, speed_map)
     if not is_period_feasible(mapping, problem.period):
         return None

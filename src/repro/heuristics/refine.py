@@ -31,13 +31,13 @@ def _rebuild(
     problem: ProblemInstance, alloc: dict[int, tuple[int, int]]
 ) -> Mapping | None:
     """Mapping from an allocation with energy-optimal per-core speeds."""
-    model = problem.grid.model
+    grid = problem.grid
     work: dict[tuple[int, int], float] = {}
     for i, c in alloc.items():
         work[c] = work.get(c, 0.0) + problem.spg.weights[i]
     speeds: dict[tuple[int, int], float] = {}
     for c, w in work.items():
-        s = model.best_feasible(w, problem.period)
+        s = grid.core_model(c).best_feasible(w, problem.period)
         if s is None:
             return None
         speeds[c] = s

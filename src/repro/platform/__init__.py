@@ -1,8 +1,32 @@
-"""CMP platform substrate: grid topology, DVFS power model, routing."""
+"""Pluggable CMP platform substrate: topologies, DVFS power model, routing.
+
+Importing this package registers the built-in fabrics (mesh, uniline,
+torus, ring, uniring, benes, hetmesh); ``get_topology(name, p, q)`` builds
+one and ``topology_names()`` lists them.
+"""
 
 from repro.platform.cmp import CMPGrid, Core, Link
 from repro.platform.speeds import PowerModel, XSCALE, xscale_model
-from repro.platform.routing import xy_path, snake_order, snake_path, manhattan
+from repro.platform.routing import (
+    xy_path,
+    snake_order,
+    snake_path,
+    manhattan,
+    torus_path,
+)
+from repro.platform.topology import (
+    Topology,
+    TopologySpec,
+    TOPOLOGIES,
+    register_topology,
+    get_topology,
+    topology_names,
+)
+from repro.platform.fabrics import (
+    TorusTopology,
+    RingTopology,
+    BenesTopology,
+)
 
 __all__ = [
     "CMPGrid",
@@ -15,4 +39,14 @@ __all__ = [
     "snake_order",
     "snake_path",
     "manhattan",
+    "torus_path",
+    "Topology",
+    "TopologySpec",
+    "TOPOLOGIES",
+    "register_topology",
+    "get_topology",
+    "topology_names",
+    "TorusTopology",
+    "RingTopology",
+    "BenesTopology",
 ]

@@ -1,0 +1,444 @@
+"""Concrete NoC fabrics beyond the paper's mesh, and the registry entries.
+
+Four families plug into the :class:`~repro.platform.topology.Topology`
+interface here:
+
+* :class:`~repro.platform.cmp.CMPGrid` — the paper's ``p x q`` mesh
+  (registered as ``mesh``, and as ``uniline`` for the Section-4.1
+  uni-directional 1 x pq configuration); the golden-equivalence fixtures
+  pin its behaviour bit-for-bit.
+* :class:`TorusTopology` — the mesh plus wraparound links, routed
+  dimension-ordered the shorter way around each ring.
+* :class:`RingTopology` — a ring of ``r`` cores (optionally
+  uni-directional), generalising the uni-line platform.
+* :class:`BenesTopology` — a Benes-style multistage fabric built from two
+  back-to-back butterflies, with deterministic distributed bit-fixing
+  routing (cf. Benes-based optical NoCs, arXiv:1109.0752, and recent
+  Benes topology variants, arXiv:2411.04135).
+
+``hetmesh`` registers a heterogeneous-speed example: a mesh with a
+big.LITTLE checkerboard of frequency scaling factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.platform.cmp import CMPGrid, Core
+from repro.platform.routing import torus_path
+from repro.platform.speeds import XSCALE, PowerModel
+from repro.platform.topology import Topology, register_topology
+
+__all__ = ["TorusTopology", "RingTopology", "BenesTopology"]
+
+
+# ----------------------------------------------------------------------
+# Torus
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TorusTopology(CMPGrid):
+    """A ``p x q`` 2D torus: the mesh plus wraparound row/column links.
+
+    Routing is dimension-ordered like XY but takes the shorter way around
+    each ring (ties towards increasing coordinates).  The snake line
+    embedding of the mesh is inherited — snake-consecutive cores are mesh
+    neighbours, hence torus links too.
+    """
+
+    name = "torus"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.uni_directional:
+            raise ValueError("the torus is always bidirectional")
+
+    def neighbors(self, core: Core) -> list[Core]:
+        u, v = core
+        p, q = self.p, self.q
+        cand = [
+            (u, (v + 1) % q),
+            (u, (v - 1) % q),
+            ((u + 1) % p, v),
+            ((u - 1) % p, v),
+        ]
+        # 1- and 2-wide dimensions make wrap and direct hops coincide.
+        return [c for c in dict.fromkeys(cand) if c != core]
+
+    def is_link(self, a: Core, b: Core) -> bool:
+        if not (self.in_bounds(a) and self.in_bounds(b)) or a == b:
+            return False
+        (u1, v1), (u2, v2) = a, b
+        du = min((u1 - u2) % self.p, (u2 - u1) % self.p)
+        dv = min((v1 - v2) % self.q, (v2 - v1) % self.q)
+        return du + dv == 1
+
+    def route(self, src: Core, dst: Core) -> list[Core]:
+        return torus_path(self.p, self.q, src, dst)
+
+    def forward_neighbors(self, core: Core) -> list[Core]:
+        """Right and down with wraparound (Greedy never self-forwards)."""
+        u, v = core
+        cand = [(u, (v + 1) % self.q), ((u + 1) % self.p, v)]
+        return [c for c in dict.fromkeys(cand) if c != core]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TorusTopology({self.p}x{self.q})"
+
+
+# ----------------------------------------------------------------------
+# Ring / uni-line generalisation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RingTopology(Topology):
+    """A ring of ``r`` cores ``(0, 0) .. (0, r-1)``.
+
+    The bidirectional ring routes the shorter way around (ties forward);
+    with ``uni_directional=True`` only forward links ``v -> (v+1) % r``
+    exist, generalising the Section-4.1 uni-line (which a ring closes into
+    a loop).  The line embedding is the natural order, so the 1D DP maps
+    onto it exactly as onto the uni-line.
+    """
+
+    name = "ring"
+
+    r: int
+    model: PowerModel = field(default=XSCALE)
+    uni_directional: bool = False
+    speed_scales: tuple[tuple[Core, float], ...] | None = None
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.r < 1:
+            raise ValueError("ring size must be positive")
+
+    @property
+    def p(self) -> int:
+        return 1
+
+    @property
+    def q(self) -> int:
+        return self.r
+
+    @property
+    def n_cores(self) -> int:
+        return self.r
+
+    def cores(self) -> list[Core]:
+        cached = self._cache.get("cores")
+        if cached is None:
+            cached = self._cache["cores"] = [(0, v) for v in range(self.r)]
+        return cached
+
+    def in_bounds(self, core: Core) -> bool:
+        u, v = core
+        return u == 0 and 0 <= v < self.r
+
+    def neighbors(self, core: Core) -> list[Core]:
+        _u, v = core
+        r = self.r
+        cand = [(0, (v + 1) % r)]
+        if not self.uni_directional:
+            cand.append((0, (v - 1) % r))
+        return [c for c in dict.fromkeys(cand) if c != core]
+
+    def is_link(self, a: Core, b: Core) -> bool:
+        if not (self.in_bounds(a) and self.in_bounds(b)) or a == b:
+            return False
+        diff = (b[1] - a[1]) % self.r
+        if diff == 1:
+            return True
+        return not self.uni_directional and diff == self.r - 1
+
+    def route(self, src: Core, dst: Core) -> list[Core]:
+        _u, vs = src
+        _u2, vd = dst
+        r = self.r
+        if vs == vd:
+            return [src]
+        fwd = (vd - vs) % r
+        back = (vs - vd) % r
+        step = 1 if self.uni_directional or fwd <= back else -1
+        path = [src]
+        v = vs
+        while v != vd:
+            v = (v + step) % r
+            path.append((0, v))
+        return path
+
+    def forward_neighbors(self, core: Core) -> list[Core]:
+        if self.r == 1:
+            return []
+        return [(0, (core[1] + 1) % self.r)]
+
+    def line_order(self) -> list[Core]:
+        return self.cores()
+
+    def line_path(self, i: int, j: int) -> list[Core]:
+        """Forward slice of the natural order (always valid links)."""
+        if not 0 <= i <= j < self.r:
+            raise ValueError("need 0 <= i <= j < r")
+        return self.cores()[i : j + 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "uni" if self.uni_directional else "bi"
+        return f"RingTopology(r={self.r}, {kind}-directional)"
+
+
+# ----------------------------------------------------------------------
+# Benes-style multistage fabric
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenesTopology(Topology):
+    """A Benes-style multistage fabric over ``N = 2**k`` terminal rows.
+
+    The node graph is two back-to-back butterflies: ``2k + 1`` columns of
+    ``N`` cores each; link stage ``c`` (between columns ``c`` and
+    ``c + 1``) carries *straight* channels ``(r, c) <-> (r, c+1)`` and
+    *cross* channels ``(r, c) <-> (r ^ 2**bit(c), c+1)`` with
+    ``bit(c) = k-1-c`` in the first half and ``c-k`` in the second.  All
+    channels are bidirectional (one link per direction, model bandwidth
+    each), as in the mesh.
+
+    Routing is deterministic distributed bit-fixing: walk straight to the
+    middle column, fix the differing row bits through the second
+    (inverse-butterfly) half — stage ``k + b`` toggles bit ``b`` — then
+    walk straight to the destination column.  Every hop is a fabric link,
+    for *any* source/destination pair of nodes, so arbitrary mappings
+    validate.
+    """
+
+    name = "benes"
+
+    k: int
+    model: PowerModel = field(default=XSCALE)
+    speed_scales: tuple[tuple[Core, float], ...] | None = None
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("need k >= 1 (2**k terminal rows)")
+
+    @property
+    def n_rows(self) -> int:
+        """Terminal rows (``2**k``)."""
+        return 1 << self.k
+
+    @property
+    def n_columns(self) -> int:
+        """Node columns (``2k + 1``)."""
+        return 2 * self.k + 1
+
+    # Bounding box for rendering and the 2D DP.
+    @property
+    def p(self) -> int:
+        return self.n_rows
+
+    @property
+    def q(self) -> int:
+        return self.n_columns
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_rows * self.n_columns
+
+    def bit(self, c: int) -> int:
+        """The row bit toggled by the cross channels of link stage ``c``."""
+        if not 0 <= c < 2 * self.k:
+            raise ValueError(f"link stage out of range: {c}")
+        return self.k - 1 - c if c < self.k else c - self.k
+
+    def cores(self) -> list[Core]:
+        cached = self._cache.get("cores")
+        if cached is None:
+            cached = self._cache["cores"] = [
+                (u, v)
+                for u in range(self.n_rows)
+                for v in range(self.n_columns)
+            ]
+        return cached
+
+    def in_bounds(self, core: Core) -> bool:
+        u, v = core
+        return 0 <= u < self.n_rows and 0 <= v < self.n_columns
+
+    def neighbors(self, core: Core) -> list[Core]:
+        u, v = core
+        out: list[Core] = []
+        if v + 1 < self.n_columns:
+            out.append((u, v + 1))
+            out.append((u ^ (1 << self.bit(v)), v + 1))
+        if v > 0:
+            out.append((u, v - 1))
+            out.append((u ^ (1 << self.bit(v - 1)), v - 1))
+        return out
+
+    def is_link(self, a: Core, b: Core) -> bool:
+        if not (self.in_bounds(a) and self.in_bounds(b)):
+            return False
+        (u1, v1), (u2, v2) = a, b
+        if abs(v1 - v2) != 1:
+            return False
+        if u1 == u2:
+            return True
+        return (u1 ^ u2) == (1 << self.bit(min(v1, v2)))
+
+    def route(self, src: Core, dst: Core) -> list[Core]:
+        (r1, c1), (r2, c2) = src, dst
+        k = self.k
+        need = r1 ^ r2
+        path: list[Core] = [(r1, c1)]
+        if need == 0:
+            step = 1 if c2 >= c1 else -1
+            for c in range(c1 + step, c2 + step, step) if c1 != c2 else []:
+                path.append((r1, c))
+            return path
+        # Straight to the first needed stage of the second half: stage
+        # k + b (between columns k + b and k + b + 1) toggles row bit b,
+        # so the walk starts at column k + lb for the lowest set bit lb.
+        lb = (need & -need).bit_length() - 1
+        hb = need.bit_length() - 1
+        cstart = k + lb
+        step = 1 if cstart > c1 else -1
+        for c in range(c1 + step, cstart + step, step) if c1 != cstart else []:
+            path.append((r1, c))
+        # Fix the differing bits, least-significant first.
+        row = r1
+        for b in range(lb, hb + 1):
+            if (need >> b) & 1:
+                row ^= 1 << b
+            path.append((row, k + b + 1))
+        # Straight to the destination column.
+        cend = k + hb + 1
+        step = 1 if c2 > cend else -1
+        for c in range(cend + step, c2 + step, step) if cend != c2 else []:
+            path.append((row, c))
+        return path
+
+    def forward_neighbors(self, core: Core) -> list[Core]:
+        """Straight and cross channels into the next column."""
+        u, v = core
+        if v + 1 >= self.n_columns:
+            return []
+        return [(u, v + 1), (u ^ (1 << self.bit(v)), v + 1)]
+
+    def line_order(self) -> list[Core]:
+        """Column-major order; inter-position hops use :meth:`route`."""
+        cached = self._cache.get("line_order")
+        if cached is None:
+            cached = self._cache["line_order"] = [
+                (u, v)
+                for v in range(self.n_columns)
+                for u in range(self.n_rows)
+            ]
+        return cached
+
+    def describe(self) -> str:
+        return (
+            super().describe()
+            + f"; {self.n_rows} terminal rows, {2 * self.k} link stages"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BenesTopology(k={self.k}, {self.n_rows}x{self.n_columns})"
+
+
+# ----------------------------------------------------------------------
+# Registry entries
+# ----------------------------------------------------------------------
+@register_topology(
+    "mesh", "p x q bidirectional mesh with XY routing (the paper's platform)"
+)
+def _build_mesh(
+    p: int,
+    q: int,
+    model: PowerModel,
+    *,
+    uni_directional: bool = False,
+    speed_scales=None,
+) -> CMPGrid:
+    return CMPGrid(
+        p, q, model, uni_directional=uni_directional,
+        speed_scales=speed_scales,
+    )
+
+
+@register_topology(
+    "uniline", "1 x (p*q) uni-directional line (Section 4.1 platform)"
+)
+def _build_uniline(
+    p: int, q: int, model: PowerModel, *, speed_scales=None
+) -> CMPGrid:
+    return CMPGrid(
+        1, p * q, model, uni_directional=True, speed_scales=speed_scales
+    )
+
+
+@register_topology(
+    "torus", "p x q torus: mesh plus wraparound links, shortest-way routing"
+)
+def _build_torus(
+    p: int, q: int, model: PowerModel, *, speed_scales=None
+) -> TorusTopology:
+    return TorusTopology(p, q, model, speed_scales=speed_scales)
+
+
+@register_topology(
+    "ring", "bidirectional ring of p*q cores, shortest-way routing"
+)
+def _build_ring(
+    p: int,
+    q: int,
+    model: PowerModel,
+    *,
+    uni_directional: bool = False,
+    speed_scales=None,
+) -> RingTopology:
+    return RingTopology(
+        p * q, model, uni_directional=uni_directional,
+        speed_scales=speed_scales,
+    )
+
+
+@register_topology(
+    "uniring", "uni-directional ring of p*q cores (closed uni-line)"
+)
+def _build_uniring(
+    p: int, q: int, model: PowerModel, *, speed_scales=None
+) -> RingTopology:
+    return RingTopology(
+        p * q, model, uni_directional=True, speed_scales=speed_scales
+    )
+
+
+@register_topology(
+    "benes",
+    "Benes-style multistage fabric; terminal rows = 2**ceil(log2 p), "
+    "2*log2(rows)+1 node columns (q is implied by the fabric depth)",
+)
+def _build_benes(
+    p: int, q: int, model: PowerModel, *, speed_scales=None
+) -> BenesTopology:
+    k = max(1, (max(2, p) - 1).bit_length())
+    return BenesTopology(k, model, speed_scales=speed_scales)
+
+
+@register_topology(
+    "hetmesh",
+    "p x q mesh with a big.LITTLE checkerboard of per-core speed scaling "
+    "(even-parity cores at 1.0x, odd-parity at 0.5x)",
+)
+def _build_hetmesh(
+    p: int,
+    q: int,
+    model: PowerModel,
+    *,
+    little_scale: float = 0.5,
+    speed_scales=None,
+) -> CMPGrid:
+    if speed_scales is None:
+        speed_scales = tuple(
+            (((u, v), 1.0 if (u + v) % 2 == 0 else little_scale))
+            for u in range(p)
+            for v in range(q)
+        )
+    return CMPGrid(p, q, model, speed_scales=speed_scales)

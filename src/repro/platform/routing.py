@@ -1,4 +1,4 @@
-"""Routing policies on the CMP grid.
+"""Routing policies on grid-addressed platforms.
 
 Two routing schemes appear in the paper's heuristics:
 
@@ -8,6 +8,10 @@ Two routing schemes appear in the paper's heuristics:
 * **Snake embedding** (Section 5.4): the ``p x q`` grid is configured as a
   1 x pq uni-directional line following a boustrophedon ("snake") order;
   the 1D heuristics map clusters along it and use only snake links.
+
+The torus variant (:func:`torus_path`) extends XY routing with wraparound
+hops, always taking the shorter way around each dimension (ties resolved
+towards increasing coordinates, matching :func:`xy_path`).
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from functools import lru_cache
 
 from repro.platform.cmp import CMPGrid, Core
 
-__all__ = ["xy_path", "snake_order", "snake_path", "manhattan"]
+__all__ = ["xy_path", "snake_order", "snake_path", "manhattan", "torus_path"]
 
 
 def manhattan(a: Core, b: Core) -> int:
@@ -43,13 +47,16 @@ def xy_path(src: Core, dst: Core) -> list[Core]:
     Horizontal links first (fix the column), then vertical links (fix the
     row), as described for the Random heuristic: a communication from
     ``C(u,v)`` to ``C(u',v')`` follows horizontal links to ``C(u,v')`` and
-    then vertical links to ``C(u',v')``.
+    then vertical links to ``C(u',v')``.  ``xy_path(c, c)`` is the
+    single-core path ``[c]`` — callers need no degenerate special case.
 
     Routes are memoised per ``(src, dst)`` pair (they are recomputed for
     every remote edge of every candidate mapping); a fresh list is returned
     on every call so that callers mutating their copy cannot corrupt the
     cache.
     """
+    if src == dst:
+        return [src]
     return list(_xy_path_cached(src, dst))
 
 
@@ -78,11 +85,48 @@ def snake_order(p: int, q: int) -> list[Core]:
 
 
 def snake_path(grid: CMPGrid, i: int, j: int) -> list[Core]:
-    """The path along the snake from position ``i`` to position ``j > i``.
+    """The path along the snake from position ``i`` to position ``j >= i``.
 
     Positions index :func:`snake_order`; the result is the exact list of
     physical cores traversed (all consecutive pairs are grid links).
+    ``i == j`` yields the single-core path — degenerate ranges no longer
+    need caller-side special-casing.
     """
-    if not 0 <= i < j < grid.n_cores:
-        raise ValueError("need 0 <= i < j < p*q")
+    if not 0 <= i <= j < grid.n_cores:
+        raise ValueError("need 0 <= i <= j < p*q")
     return snake_order(grid.p, grid.q)[i : j + 1]
+
+
+@lru_cache(maxsize=8192)
+def _torus_path_cached(
+    p: int, q: int, src: Core, dst: Core
+) -> tuple[Core, ...]:
+    (u1, v1), (u2, v2) = src, dst
+    path = [(u1, v1)]
+    # Columns first, shorter way around (ties towards +1, as in xy_path).
+    fwd = (v2 - v1) % q
+    back = (v1 - v2) % q
+    step = 1 if fwd <= back else -1
+    v = v1
+    while v != v2:
+        v = (v + step) % q
+        path.append((u1, v))
+    # Then rows.
+    fwd = (u2 - u1) % p
+    back = (u1 - u2) % p
+    step = 1 if fwd <= back else -1
+    u = u1
+    while u != u2:
+        u = (u + step) % p
+        path.append((u, v2))
+    return tuple(path)
+
+
+def torus_path(p: int, q: int, src: Core, dst: Core) -> list[Core]:
+    """Dimension-ordered wraparound routing on a ``p x q`` torus.
+
+    Like XY routing, but each dimension is traversed the shorter way
+    around the ring (ties broken towards increasing coordinates).
+    Memoised per ``(p, q, src, dst)``; returns a fresh list per call.
+    """
+    return list(_torus_path_cached(p, q, src, dst))

@@ -8,7 +8,6 @@ direction) and a link energy of 6 pJ/bit.
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from dataclasses import dataclass, field
 
 __all__ = ["PowerModel", "XSCALE", "xscale_model"]
@@ -132,6 +131,29 @@ class PowerModel:
     def link_capacity(self, period: float) -> float:
         """Maximum bytes one link direction can carry per period."""
         return self.bandwidth * period
+
+    def scaled(self, factor: float) -> "PowerModel":
+        """A frequency-scaled copy of this model (heterogeneous cores).
+
+        Every DVFS speed is multiplied by ``factor`` and the dynamic power
+        scales linearly with it (same operating voltages, higher clock:
+        ``P = C V^2 f``).  Leakage, link energy and bandwidth are
+        unchanged — heterogeneity is a per-core *compute* property, the
+        interconnect stays shared.  ``factor`` must be positive;
+        ``scaled(1.0)`` returns ``self`` unchanged.
+        """
+        if factor <= 0:
+            raise ValueError("speed scale factor must be positive")
+        if factor == 1.0:
+            return self
+        return PowerModel(
+            speeds=tuple(s * factor for s in self.speeds),
+            dyn_power=tuple(p * factor for p in self.dyn_power),
+            comp_leak=self.comp_leak,
+            comm_leak=self.comm_leak,
+            e_bit=self.e_bit,
+            bandwidth=self.bandwidth,
+        )
 
 
 def xscale_model(

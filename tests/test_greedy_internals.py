@@ -4,27 +4,27 @@ import pytest
 
 from repro.core.problem import ProblemInstance
 from repro.heuristics.greedy import _downgrade, _greedy_at_speed
-from repro.platform.speeds import GHZ
 from repro.spg.build import chain, split_join
 from repro.spg.graph import sp_edge, series, parallel
 
 
 class TestGreedyAtSpeed:
     def test_source_starts_at_origin(self, grid_4x4):
+        # Speed levels index the DVFS set: 4 is the top (1 GHz) XScale speed.
         g = chain(5, [2e8] * 5, [1e5] * 4)
-        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 4)
         assert m is not None
         assert m.alloc[0] == (0, 0)
 
     def test_absorbs_until_capacity(self, grid_4x4):
         g = chain(5, [2e8] * 5, [1e5] * 4)
-        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 4)
         # 5 stages of 2e8 at 1 GHz, T=1: all five fit on one core.
         assert len(m.active_cores()) == 1
 
     def test_spills_to_neighbours(self, grid_4x4):
         g = chain(6, [4e8] * 6, [1e5] * 5)
-        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 4)
         assert m is not None
         # 2 stages per core at most: at least 3 cores.
         assert len(m.active_cores()) >= 3
@@ -36,7 +36,7 @@ class TestGreedyAtSpeed:
         g = chain(3, [5e8] * 3, [1e5] * 2)
         # At 0.15 GHz a 5e8-cycle stage takes 3.3s > T=1: nothing fits.
         assert _greedy_at_speed(
-            ProblemInstance(g, grid_4x4, 1.0), 0.15 * GHZ
+            ProblemInstance(g, grid_4x4, 1.0), 0
         ) is None
 
     def test_forward_balances_comm(self, grid_4x4):
@@ -44,7 +44,7 @@ class TestGreedyAtSpeed:
         # should each receive some of them.
         g = split_join([1] * 4, w_source=1e8, w_sink=1e8, w_branch=8e8,
                        comm=1e6)
-        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 0.9), 1.0 * GHZ)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 0.9), 4)
         assert m is not None
         branch_cores = {m.alloc[i] for i in (1, 2, 3, 4)}
         assert len(branch_cores) >= 4  # one heavy branch per core
@@ -52,7 +52,7 @@ class TestGreedyAtSpeed:
     def test_all_stages_assigned(self, grid_4x4):
         g = split_join([2, 3, 1], w_source=1e8, w_sink=1e8, w_branch=2e8,
                        comm=1e6)
-        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 4)
         assert m is not None
         assert sorted(m.alloc) == list(range(g.n))
 
@@ -62,7 +62,7 @@ class TestGreedyAtSpeed:
         g = parallel(series(inner, sp_edge(1e8, 1e8, 1e5)),
                      series(sp_edge(1e8, 1e8, 1e5), sp_edge(0, 1e8, 1e5)),
                      merge="first")
-        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 1.0 * GHZ)
+        m = _greedy_at_speed(ProblemInstance(g, grid_4x4, 1.0), 4)
         if m is not None:
             assert m.is_valid_structure()
 
@@ -71,7 +71,7 @@ class TestDowngrade:
     def test_downgrade_lowers_speeds(self, grid_4x4):
         g = chain(4, [1e8] * 4, [1e5] * 3)
         prob = ProblemInstance(g, grid_4x4, 1.0)
-        m = _greedy_at_speed(prob, 1.0 * GHZ)
+        m = _greedy_at_speed(prob, 4)
         # _greedy_at_speed already downgrades; verify the invariant.
         for core, work in m.core_work().items():
             s = m.speeds[core]
@@ -80,6 +80,6 @@ class TestDowngrade:
     def test_downgrade_preserves_alloc(self, grid_4x4):
         g = chain(4, [1e8] * 4, [1e5] * 3)
         prob = ProblemInstance(g, grid_4x4, 1.0)
-        m = _greedy_at_speed(prob, 1.0 * GHZ)
+        m = _greedy_at_speed(prob, 4)
         again = _downgrade(prob, m)
         assert again.alloc == m.alloc

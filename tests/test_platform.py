@@ -145,9 +145,17 @@ class TestGridTopology:
         with pytest.raises(ValueError):
             g.validate_path([(0, 0), (1, 1)])
 
-    def test_validate_path_too_short(self):
+    def test_validate_path_single_core(self):
+        # Degenerate single-core paths are valid (a route to itself).
+        CMPGrid(2, 2).validate_path([(0, 0)])
+
+    def test_validate_path_single_core_out_of_bounds(self):
         with pytest.raises(ValueError):
-            CMPGrid(2, 2).validate_path([(0, 0)])
+            CMPGrid(2, 2).validate_path([(5, 5)])
+
+    def test_validate_path_empty(self):
+        with pytest.raises(ValueError):
+            CMPGrid(2, 2).validate_path([])
 
     def test_square_constructor(self):
         g = CMPGrid.square(5)
@@ -196,6 +204,12 @@ class TestRouting:
         assert path == [(0, 0), (0, 1), (1, 1), (1, 0)]
         g.validate_path(path)
 
+    def test_snake_path_degenerate(self):
+        # i == j yields the single-core path (no caller special-casing).
+        assert snake_path(CMPGrid(2, 2), 2, 2) == [(1, 1)]
+
     def test_snake_path_bounds(self):
         with pytest.raises(ValueError):
-            snake_path(CMPGrid(2, 2), 2, 2)
+            snake_path(CMPGrid(2, 2), 3, 2)  # i > j
+        with pytest.raises(ValueError):
+            snake_path(CMPGrid(2, 2), 0, 4)  # j out of range
