@@ -205,8 +205,15 @@ def main(argv=None) -> int:
         and results["fig10_panel"]["outputs_equal"]
     )
     results["all_outputs_equal_to_seed"] = ok
+    # Merge over the existing report so sibling benchmarks' sections
+    # (e.g. bench_refine.py's "refine" key) survive a re-run.
+    merged = {}
+    if OUT_PATH.exists():
+        with open(OUT_PATH) as fh:
+            merged = json.load(fh)
+    merged.update(results)
     with open(OUT_PATH, "w") as fh:
-        json.dump(results, fh, indent=1, sort_keys=True)
+        json.dump(merged, fh, indent=1, sort_keys=True)
     print(json.dumps(results, indent=1, sort_keys=True))
     print(f"\nwritten to {OUT_PATH}")
     if not ok:

@@ -1,0 +1,162 @@
+"""Benchmark of the delta-evaluated refinement engine vs the retained
+full-rebuild reference.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_refine.py [--repeats N]
+
+For each workload (the headline n=150 stage graph on a 6x6 mesh, plus a
+smaller n=50 / 4x4 trend point) it refines the same Random starting
+mapping through
+
+* ``refine_mapping_rebuild`` — the full-rebuild reference path, and
+* ``refine_mapping`` — the incremental :class:`DeltaState` engine,
+
+verifies the two are **bit-identical** (same accepted-move sequence,
+same final allocation/speeds, byte-equal final energy) and reports the
+speedup.  Results are merged into ``BENCH_perf_core.json`` at the
+repository root under the ``"refine"`` key so future PRs can track the
+trajectory; the delta engine is expected to stay at or above 5x on the
+headline workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_perf_core.json"
+
+#: (label, n stages, grid p, grid q, sweeps)
+WORKLOADS = (
+    ("n150_6x6", 150, 6, 6, 2),
+    ("n50_4x4", 50, 4, 4, 2),
+)
+
+#: The acceptance floor for the headline workload.
+TARGET_SPEEDUP = 5.0
+HEADLINE = "n150_6x6"
+
+
+def _loose_period(spg, parallelism: float = 12.0) -> float:
+    s_max = 1e9
+    return max(
+        2.0 * spg.total_work / s_max / parallelism,
+        1.2 * max(spg.weights) / s_max,
+    )
+
+
+def bench_workload(label, n, p, q, sweeps, repeats: int) -> dict:
+    from repro.core.evaluate import energy
+    from repro.core.problem import ProblemInstance
+    from repro.heuristics.random_heuristic import random_mapping
+    from repro.heuristics.refine import refine_mapping, refine_mapping_rebuild
+    from repro.platform.cmp import CMPGrid
+    from repro.spg.random_gen import random_spg
+
+    spg = random_spg(n, rng=2011, ccr=10.0)
+    problem = ProblemInstance(
+        spg, CMPGrid(p, q), _loose_period(spg, parallelism=12.0)
+    )
+    base = random_mapping(problem, rng=0)
+
+    def timed(fn):
+        best, out, log = None, None, None
+        for _ in range(repeats):
+            run_log: list = []
+            t0 = time.perf_counter()
+            mapping = fn(run_log)
+            seconds = time.perf_counter() - t0
+            if best is None or seconds < best:
+                best, out, log = seconds, mapping, run_log
+        return best, out, log
+
+    delta_s, delta_m, delta_log = timed(
+        lambda run_log: refine_mapping(
+            problem, base, rng=0, sweeps=sweeps, log=run_log
+        )
+    )
+    rebuild_s, rebuild_m, rebuild_log = timed(
+        lambda run_log: refine_mapping_rebuild(
+            problem, base, rng=0, sweeps=sweeps, log=run_log
+        )
+    )
+    equal = (
+        delta_log == rebuild_log
+        and delta_m.alloc == rebuild_m.alloc
+        and delta_m.speeds == rebuild_m.speeds
+        and delta_m.paths == rebuild_m.paths
+        and repr(energy(delta_m, problem.period).total)
+        == repr(energy(rebuild_m, problem.period).total)
+    )
+    base_e = energy(base, problem.period).total
+    refined_e = energy(delta_m, problem.period).total
+    return {
+        "settings": {
+            "n": n, "grid": f"{p}x{q}", "ccr": 10.0, "seed": 2011,
+            "sweeps": sweeps, "base": "Random",
+        },
+        "delta_seconds": delta_s,
+        "rebuild_seconds": rebuild_s,
+        "speedup": rebuild_s / delta_s,
+        "accepted_moves": len(delta_log),
+        "base_energy": repr(base_e),
+        "refined_energy": repr(refined_e),
+        "energy_saved_pct": 100.0 * (1.0 - refined_e / base_e),
+        "outputs_identical": equal,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed repetitions per engine; best-of is reported "
+             "(default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    results: dict = {"target_speedup": TARGET_SPEEDUP, "workloads": {}}
+    for label, n, p, q, sweeps in WORKLOADS:
+        print(f"benchmarking {label} (sweeps={sweeps}) ...")
+        results["workloads"][label] = bench_workload(
+            label, n, p, q, sweeps, args.repeats
+        )
+    headline = results["workloads"][HEADLINE]
+    results["headline"] = HEADLINE
+    results["speedup"] = headline["speedup"]
+    results["speedup_ok"] = headline["speedup"] >= TARGET_SPEEDUP
+    ok = all(
+        w["outputs_identical"] for w in results["workloads"].values()
+    )
+    results["all_outputs_identical"] = ok
+
+    merged = {}
+    if OUT_PATH.exists():
+        with open(OUT_PATH) as fh:
+            merged = json.load(fh)
+    merged["refine"] = results
+    with open(OUT_PATH, "w") as fh:
+        json.dump(merged, fh, indent=1, sort_keys=True)
+
+    print(json.dumps(results, indent=1, sort_keys=True))
+    print(f"\nmerged into {OUT_PATH} under 'refine'")
+    if not ok:
+        print("ERROR: delta engine diverged from the rebuild reference",
+              file=sys.stderr)
+        return 1
+    if not results["speedup_ok"]:
+        print(
+            f"WARNING: headline speedup {headline['speedup']:.1f}x below "
+            f"the {TARGET_SPEEDUP:.0f}x target",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

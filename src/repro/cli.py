@@ -122,7 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--heuristic", "-H", choices=PAPER_ORDER, default="Greedy"
     )
     p_map.add_argument("--refine", action="store_true",
-                       help="hill-climb the result")
+                       help="refine the result with delta-evaluated "
+                            "local search")
+    p_map.add_argument("--refine-schedule", choices=["first", "best",
+                                                     "anneal"],
+                       default="first",
+                       help="refinement acceptance schedule (default "
+                            "first-improvement)")
+    p_map.add_argument("--refine-sweeps", type=int, default=4,
+                       help="refinement sweep budget (default 4)")
+    p_map.add_argument("--refine-general", action="store_true",
+                       help="admit general (non-DAG-partition) mappings "
+                            "during refinement (Section-7 future work)")
 
     p_cmp = sub.add_parser("compare", help="run all five heuristics")
     add_instance_args(p_cmp)
@@ -135,6 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="CCR settings (default: orig 10 1 0.1)")
     add_topology_arg(p_exp)
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--refine", action="store_true",
+                       help="post-refine every heuristic mapping with "
+                            "the delta-evaluated local search")
+    p_exp.add_argument("--refine-schedule", choices=["first", "best",
+                                                     "anneal"],
+                       default="first",
+                       help="refinement acceptance schedule (default "
+                            "first-improvement)")
+    p_exp.add_argument("--refine-sweeps", type=int, default=4,
+                       help="refinement sweep budget (default 4)")
     p_exp.add_argument("--csv", metavar="PATH", default=None,
                        help="also export the records as CSV")
     p_exp.add_argument("--jobs", "-j", type=int, default=1,
@@ -160,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "name/index (default: random-20)")
     p_sw.add_argument("--replicates", type=int, default=1)
     p_sw.add_argument("--seed", type=int, default=0)
+    p_sw.add_argument("--refine", action="store_true",
+                      help="post-refine every heuristic mapping with the "
+                           "delta-evaluated local search")
+    p_sw.add_argument("--refine-schedule", choices=["first", "best",
+                                                    "anneal"],
+                      default="first",
+                      help="refinement acceptance schedule (default "
+                           "first-improvement)")
+    p_sw.add_argument("--refine-sweeps", type=int, default=4,
+                      help="refinement sweep budget (default 4)")
     p_sw.add_argument("--jobs", "-j", type=int, default=1,
                       help="worker processes (0 = all CPUs; results are "
                            "identical for any value)")
@@ -227,8 +258,21 @@ def cmd_map(args, out) -> int:
     if args.refine:
         from repro.heuristics.refine import refine_mapping
 
-        mapping = refine_mapping(prob, mapping, rng=args.seed)
-    b = energy(mapping, T)
+        before = res.energy.total
+        mapping = refine_mapping(
+            prob, mapping, rng=args.seed, sweeps=args.refine_sweeps,
+            schedule=args.refine_schedule,
+            allow_general=args.refine_general,
+        )
+        b = energy(mapping, T)
+        print(
+            f"refined ({args.refine_schedule}): {before:.4f} -> "
+            f"{b.total:.4f} J/period "
+            f"({100.0 * (1.0 - b.total / before):.2f}% saved)",
+            file=out,
+        )
+    else:
+        b = energy(mapping, T)
     print(summarize(mapping, T), file=out)
     print(
         f"energy: {b.total:.4f} J/period "
@@ -281,7 +325,9 @@ def cmd_experiment(args, out) -> int:
     workflows = tuple(args.workflows) if args.workflows else None
     exp = run_streamit_experiment(
         grid, ccrs=ccrs, workflows=workflows, seed=args.seed,
-        jobs=args.jobs,
+        jobs=args.jobs, refine=args.refine,
+        refine_sweeps=args.refine_sweeps,
+        refine_schedule=args.refine_schedule,
     )
     print(exp.render(), file=out)
     if args.csv:
@@ -300,6 +346,9 @@ def cmd_sweep(args, out) -> int:
         replicates=args.replicates,
         seed=args.seed,
         jobs=args.jobs,
+        refine=args.refine,
+        refine_sweeps=args.refine_sweeps,
+        refine_schedule=args.refine_schedule,
     )
     print(sweep_summary(report), file=out)
     if args.out:

@@ -6,6 +6,7 @@ from repro.core.errors import (
     HeuristicFailure,
     BudgetExceeded,
 )
+from repro.core.delta import DeltaState, MoveStage, PowerOff, SwapClusters
 from repro.core.mapping import Mapping
 from repro.core.evaluate import (
     EnergyBreakdown,
@@ -34,6 +35,10 @@ __all__ = [
     "MappingError",
     "HeuristicFailure",
     "BudgetExceeded",
+    "DeltaState",
+    "MoveStage",
+    "SwapClusters",
+    "PowerOff",
     "Mapping",
     "EnergyBreakdown",
     "cycle_times",

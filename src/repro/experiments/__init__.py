@@ -6,6 +6,7 @@ from repro.experiments.runner import (
     FailureCounter,
     normalized_energy,
     normalized_inverse_energy,
+    refine_options,
 )
 from repro.experiments.streamit_experiments import (
     StreamItExperiment,
@@ -39,6 +40,7 @@ __all__ = [
     "FailureCounter",
     "normalized_energy",
     "normalized_inverse_energy",
+    "refine_options",
     "StreamItExperiment",
     "run_streamit_experiment",
     "CCR_SETTINGS",

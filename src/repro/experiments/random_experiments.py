@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     FailureCounter,
     InstanceRecord,
     normalized_inverse_energy,
+    refine_options,
 )
 from repro.heuristics.base import PAPER_ORDER
 from repro.platform.topology import Topology
@@ -92,6 +93,9 @@ def run_random_experiment(
     heuristics=PAPER_ORDER,
     options: dict | None = None,
     jobs: int | None = 1,
+    refine: bool = False,
+    refine_sweeps: int = 4,
+    refine_schedule: str = "first",
 ) -> RandomExperiment:
     """Run one Figure-10..13 panel.
 
@@ -102,9 +106,16 @@ def run_random_experiment(
     process pool (``None``/``0`` = all CPUs).  The instances and heuristic
     seeds are generated serially in the parent first, so the results are
     bit-identical for every ``jobs`` value.
+
+    ``refine=True`` post-refines every successful heuristic mapping with
+    the delta-evaluated local search (``refine_sweeps``/``refine_schedule``
+    select its budget and acceptance rule).
     """
     rng = as_rng(seed)
     heuristics = tuple(heuristics)
+    options = refine_options(
+        options, heuristics, refine, refine_sweeps, refine_schedule
+    )
     labels: list[tuple[int, str]] = []
     tasks = []
     for elev in elevations:

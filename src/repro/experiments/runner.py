@@ -8,7 +8,34 @@ from repro.experiments.period import PeriodChoice
 from repro.heuristics.base import PAPER_ORDER, HeuristicResult
 
 __all__ = ["InstanceRecord", "FailureCounter", "normalized_energy",
-           "normalized_inverse_energy"]
+           "normalized_inverse_energy", "refine_options"]
+
+
+def refine_options(
+    options: dict | None,
+    heuristics,
+    refine: bool,
+    sweeps: int = 4,
+    schedule: str = "first",
+) -> dict | None:
+    """Merge refinement flags into per-heuristic run options.
+
+    The experiment runners thread refinement to the workers through the
+    existing per-heuristic ``options`` dict (so task tuples and worker
+    signatures stay unchanged); explicit per-heuristic settings win over
+    the runner-level flags.  Returns ``options`` untouched when
+    ``refine`` is false.
+    """
+    if not refine:
+        return options
+    merged = dict(options or {})
+    for name in heuristics:
+        entry = dict(merged.get(name, {}))
+        entry.setdefault("refine", True)
+        entry.setdefault("refine_sweeps", sweeps)
+        entry.setdefault("refine_schedule", schedule)
+        merged[name] = entry
+    return merged
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.experiments.parallel import random_panel_task, run_tasks
 from repro.experiments.period import PeriodChoice
+from repro.experiments.runner import refine_options
 from repro.heuristics.base import PAPER_ORDER
 from repro.platform.topology import Topology, get_topology
 from repro.spg.random_gen import random_spg
@@ -161,6 +162,9 @@ def run_scenario_sweep(
     heuristics=PAPER_ORDER,
     options: dict | None = None,
     jobs: int | None = 1,
+    refine: bool = False,
+    refine_sweeps: int = 4,
+    refine_schedule: str = "first",
 ) -> dict:
     """Run the sweep and return the consolidated JSON-serialisable report.
 
@@ -168,9 +172,18 @@ def run_scenario_sweep(
     process pool (``None``/``0`` = all CPUs); instances and heuristic
     seeds are pre-drawn serially so results match a serial run bit for
     bit.
+
+    ``refine=True`` post-refines every successful heuristic mapping with
+    the delta-evaluated local search (CLI: ``repro sweep --refine``);
+    ``refine_sweeps``/``refine_schedule`` select its budget and
+    acceptance rule.  Refined mappings pass the same structural re-checks
+    as raw heuristic outputs.
     """
     rng = as_rng(seed)
     heuristics = tuple(heuristics)
+    options = refine_options(
+        options, heuristics, refine, refine_sweeps, refine_schedule
+    )
     scenarios = build_scenarios(topologies, sizes, ccrs, apps)
     tasks = []
     task_meta: list[tuple[int, str]] = []  # (scenario index, label)
@@ -215,6 +228,8 @@ def run_scenario_sweep(
             "heuristics": list(heuristics),
             "scenario_count": len(scenarios),
             "instance_count": len(tasks),
+            "refine": bool(refine),
+            "refine_schedule": refine_schedule if refine else None,
         },
         "scenarios": per_scenario,
     }
@@ -240,11 +255,13 @@ def sweep_summary(report: dict) -> str:
             *cells,
             routes,
         ])
+    refined = " [refined]" if report["meta"].get("refine") else ""
     return format_table(
         ["topology", "size", "cores", "ccr", "app", *heuristics, "routes"],
         rows,
         title=(
-            f"Scenario sweep: {report['meta']['scenario_count']} scenarios, "
+            f"Scenario sweep{refined}: "
+            f"{report['meta']['scenario_count']} scenarios, "
             f"{report['meta']['instance_count']} instances "
             f"(successes per heuristic; * = heterogeneous speeds)"
         ),

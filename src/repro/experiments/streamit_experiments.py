@@ -15,6 +15,7 @@ from repro.experiments.runner import (
     FailureCounter,
     InstanceRecord,
     normalized_energy,
+    refine_options,
 )
 from repro.heuristics.base import PAPER_ORDER
 from repro.platform.topology import Topology
@@ -90,6 +91,9 @@ def run_streamit_experiment(
     heuristics=PAPER_ORDER,
     options: dict | None = None,
     jobs: int | None = 1,
+    refine: bool = False,
+    refine_sweeps: int = 4,
+    refine_schedule: str = "first",
 ) -> StreamItExperiment:
     """Run the Figure-8/9 sweep on ``grid``.
 
@@ -99,9 +103,16 @@ def run_streamit_experiment(
     ``jobs`` fans the per-instance ``choose_period`` runs out over a
     process pool (``None``/``0`` = all CPUs); heuristic seeds are pre-drawn
     serially so results match a serial run bit for bit.
+
+    ``refine=True`` post-refines every successful heuristic mapping with
+    the delta-evaluated local search (``refine_sweeps``/``refine_schedule``
+    select its budget and acceptance rule).
     """
     rng = as_rng(seed)
     heuristics = tuple(heuristics)
+    options = refine_options(
+        options, heuristics, refine, refine_sweeps, refine_schedule
+    )
     indices = workflows or tuple(s.index for s in STREAMIT_TABLE1)
     keys: list[tuple[int, float | None]] = []
     tasks = []

@@ -11,7 +11,12 @@ from repro.heuristics.random_heuristic import random_mapping
 from repro.heuristics.greedy import greedy_mapping
 from repro.heuristics.dpa1d import dpa1d_mapping, solve_uniline
 from repro.heuristics.dpa2d import dpa2d_mapping, dpa2d1d_mapping, solve_dpa2d
-from repro.heuristics.refine import refine_mapping, refined
+from repro.heuristics.refine import (
+    SCHEDULES,
+    refine_mapping,
+    refine_mapping_rebuild,
+    refined,
+)
 
 __all__ = [
     "HeuristicResult",
@@ -26,6 +31,8 @@ __all__ = [
     "dpa2d1d_mapping",
     "solve_uniline",
     "solve_dpa2d",
+    "SCHEDULES",
     "refine_mapping",
+    "refine_mapping_rebuild",
     "refined",
 ]

@@ -57,21 +57,55 @@ def register(name: str):
 
 
 def run(
-    name: str, problem: ProblemInstance, rng=None, **options
+    name: str,
+    problem: ProblemInstance,
+    rng=None,
+    refine: bool = False,
+    refine_sweeps: int = 4,
+    refine_schedule: str = "first",
+    refine_allow_general: bool = False,
+    **options,
 ) -> HeuristicResult:
     """Run heuristic ``name`` and re-validate its output independently.
 
     A mapping that fails independent validation is treated as a heuristic
     failure (and flagged in the failure message, since it would indicate a
     heuristic bug rather than an infeasible instance).
+
+    ``refine=True`` post-processes a successful mapping through the
+    delta-evaluated local-search refiner (continuing the heuristic's RNG
+    stream, so results stay deterministic per seed); the refined mapping
+    is re-validated the same way.  The ``refine_*`` options select the
+    sweep budget, the acceptance schedule and whether *general* (non
+    DAG-partition) clusterings are admitted — the experiment runners and
+    the scenario sweep thread them through per-heuristic ``options``.
     """
     fn = REGISTRY[name]
     try:
         mapping = fn(problem, rng=rng, **options)
     except HeuristicFailure as exc:
         return HeuristicResult(name, None, None, failure=str(exc) or "failed")
+    if refine:
+        from repro.heuristics.refine import refine_mapping
+
+        # Only refine mappings that pass independent validation — a
+        # buggy heuristic output must surface as INVALID OUTPUT below,
+        # not as an exception out of the refiner's bookkeeping.
+        try:
+            validate(mapping, problem.period)
+        except MappingError as exc:
+            return HeuristicResult(
+                name, None, None, failure=f"INVALID OUTPUT: {exc}"
+            )
+        mapping = refine_mapping(
+            problem, mapping, rng=rng, sweeps=refine_sweeps,
+            allow_general=refine_allow_general, schedule=refine_schedule,
+        )
     try:
-        breakdown = validate(mapping, problem.period)
+        breakdown = validate(
+            mapping, problem.period,
+            require_dag_partition=not (refine and refine_allow_general),
+        )
     except MappingError as exc:  # pragma: no cover - heuristic bug guard
         return HeuristicResult(
             name, None, None, failure=f"INVALID OUTPUT: {exc}"

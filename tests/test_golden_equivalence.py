@@ -1,4 +1,4 @@
-"""Golden-equivalence guard for the fast evaluation core.
+"""Golden-equivalence guard for the fast evaluation core and the refiner.
 
 ``tests/data/golden_seed_outputs.json`` records periods, per-heuristic
 energies (as ``repr`` strings, i.e. byte-exact doubles) and failure
@@ -6,6 +6,14 @@ patterns produced by the *seed* implementation on fixed seeds, captured
 before the array-backed caches, the prefix-sum DP rewrites and the
 parallel experiment engine landed.  These tests re-run the same sweeps and
 require bit-identical outputs, serially and through the process pool.
+
+``tests/data/golden_refine_outputs.json`` pins the refinement engine the
+same way on fixed mesh scenarios: periods, base/refined energies, final
+allocations and the accepted-move sequences.  Future PRs touching the
+delta layer or the refiner cannot silently drift refinement results.
+Regenerate deliberately with::
+
+    PYTHONPATH=src:. python tests/test_golden_equivalence.py
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ from repro.experiments import run_random_experiment, run_streamit_experiment
 from repro.platform.cmp import CMPGrid
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_seed_outputs.json"
+REFINE_GOLDEN_PATH = (
+    Path(__file__).parent / "data" / "golden_refine_outputs.json"
+)
 
 
 @pytest.fixture(scope="module")
@@ -84,3 +95,89 @@ class TestSuccessCounts:
                 assert (got[label]["energies"][name] is None) == (
                     energy_repr is None
                 )
+
+
+# ----------------------------------------------------------------------
+# Refinement-engine golden fixtures (seed mesh scenarios)
+# ----------------------------------------------------------------------
+def _refine_snapshots() -> dict:
+    """Refiner outputs on fixed mesh scenarios, JSON-serialisable."""
+    from tests.helpers import loose_period
+
+    from repro.core.evaluate import energy
+    from repro.core.problem import ProblemInstance
+    from repro.heuristics.base import run as run_heuristic
+    from repro.heuristics.refine import refine_mapping
+    from repro.spg.random_gen import random_spg
+    from repro.spg.streamit import streamit_workflow
+
+    scenarios = {
+        # label: (SPG, grid size, base heuristic, seed, schedule, general)
+        "random18_3x3_greedy_first": (
+            random_spg(18, rng=3, ccr=5.0), (3, 3), "Greedy", 0,
+            "first", False,
+        ),
+        "random24_4x4_random_first": (
+            random_spg(24, rng=8, ccr=10.0), (4, 4), "Random", 1,
+            "first", False,
+        ),
+        "random18_3x3_greedy_general": (
+            random_spg(18, rng=3, ccr=5.0), (3, 3), "Greedy", 0,
+            "first", True,
+        ),
+        "dct_4x4_greedy_best": (
+            streamit_workflow("DCT", ccr=1.0, seed=0), (4, 4), "Greedy", 0,
+            "best", False,
+        ),
+    }
+    out: dict = {}
+    for label, (spg, (p, q), heur, seed, schedule, general) in (
+        scenarios.items()
+    ):
+        problem = ProblemInstance(
+            spg, CMPGrid(p, q), loose_period(spg, parallelism=4.0)
+        )
+        res = run_heuristic(heur, problem, rng=seed)
+        assert res.ok, f"{heur} must succeed on {label}"
+        log: list = []
+        refined = refine_mapping(
+            problem, res.mapping, rng=seed, sweeps=4, schedule=schedule,
+            allow_general=general, log=log,
+        )
+        out[label] = {
+            "period": repr(problem.period),
+            "base_energy": repr(res.energy.total),
+            "refined_energy": repr(energy(refined, problem.period).total),
+            "alloc": {str(i): list(refined.alloc[i]) for i in range(spg.n)},
+            "accepted_moves": [str(m) for m in log],
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def refine_golden() -> dict:
+    with open(REFINE_GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+class TestRefineGolden:
+    def test_refiner_outputs_match_recorded(self, refine_golden):
+        """Energies, allocations and accepted-move sequences must all be
+        byte-identical to the recorded fixtures."""
+        got = _refine_snapshots()
+        assert set(got) == set(refine_golden)
+        for label, want in refine_golden.items():
+            assert got[label] == want, f"refinement drifted on {label}"
+
+    def test_refinement_actually_improves(self, refine_golden):
+        """The pinned scenarios all contain real improvements (guards the
+        fixtures themselves against accidental no-op regeneration)."""
+        for label, rec in refine_golden.items():
+            assert float(rec["refined_energy"]) < float(rec["base_energy"])
+            assert len(rec["accepted_moves"]) > 0
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration
+    with open(REFINE_GOLDEN_PATH, "w") as fh:
+        json.dump(_refine_snapshots(), fh, indent=1, sort_keys=True)
+    print(f"refinement fixtures written to {REFINE_GOLDEN_PATH}")
