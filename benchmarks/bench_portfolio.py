@@ -1,0 +1,125 @@
+"""Benchmark of the portfolio solver: wall-clock vs. best single member.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_portfolio.py [--jobs 1 2]
+
+Times the full five-heuristic ``portfolio`` solver on a fixed random
+50-stage / 4x4 instance (seed 2011, CCR 10) for each requested ``jobs``
+value, plus the ``dpa2d1d+refine`` pipeline for reference, asserts that
+the portfolio winner and its energy are **identical for every jobs
+value**, and merges a ``"portfolio"`` section into
+``BENCH_perf_core.json`` at the repository root without clobbering the
+sibling sections (``eval_core``, ``dpa2d``, ``fig10_panel``,
+``refine``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_perf_core.json"
+
+#: Fixed workload: one Figure-10-style instance, benchmark replicates.
+N, GRID, CCR, SEED = 50, (4, 4), 10.0, 2011
+REPEATS = 3
+
+
+def build_instance():
+    from repro.core.problem import ProblemInstance
+    from repro.experiments import choose_period
+    from repro.platform.cmp import CMPGrid
+    from repro.spg.random_gen import random_spg
+
+    spg = random_spg(N, rng=SEED, ccr=CCR)
+    grid = CMPGrid(*GRID)
+    T = choose_period(spg, grid, rng=SEED).period
+    return ProblemInstance(spg, grid, T)
+
+
+def time_solve(solver, prob, rng_seed: int, repeats: int = REPEATS):
+    """Best-of-``repeats`` wall-clock (identical work each run)."""
+    from repro.util.rng import as_rng
+
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = solver.solve(prob, rng=as_rng(rng_seed))
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, nargs="*", default=[1, 2],
+        help="jobs values for the portfolio (default: 1 2)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.solvers import get_solver, parse_solver_spec
+
+    prob = build_instance()
+    section: dict = {
+        "settings": {
+            "n": N, "grid": f"{GRID[0]}x{GRID[1]}", "ccr": CCR,
+            "seed": SEED, "period": prob.period, "repeats": REPEATS,
+        },
+        "runs": {},
+    }
+
+    reference = None
+    for jobs in args.jobs:
+        seconds, res = time_solve(get_solver("portfolio", jobs=jobs), prob, 5)
+        entry = {
+            "seconds": seconds,
+            "winner": res.stats["winner"],
+            "energy": repr(res.total_energy),
+            "members": {
+                m["solver"]: None if m["energy"] is None else repr(m["energy"])
+                for m in res.stats["members"]
+            },
+        }
+        if reference is None:
+            reference = entry
+        entry["outputs_equal"] = (
+            entry["winner"] == reference["winner"]
+            and entry["energy"] == reference["energy"]
+            and entry["members"] == reference["members"]
+        )
+        section["runs"][str(jobs)] = entry
+
+    pipe_seconds, pipe_res = time_solve(
+        parse_solver_spec("dpa2d1d+refine"), prob, 5
+    )
+    section["pipeline_dpa2d1d_refine"] = {
+        "seconds": pipe_seconds,
+        "energy": repr(pipe_res.total_energy) if pipe_res.ok else None,
+    }
+    ok = all(r["outputs_equal"] for r in section["runs"].values())
+    section["jobs_invariant"] = ok
+
+    merged = {}
+    if OUT_PATH.exists():
+        with open(OUT_PATH) as fh:
+            merged = json.load(fh)
+    merged["portfolio"] = section
+    with open(OUT_PATH, "w") as fh:
+        json.dump(merged, fh, indent=1, sort_keys=True)
+    print(json.dumps(section, indent=1, sort_keys=True))
+    print(f"\nmerged into {OUT_PATH}")
+    if not ok:
+        print("ERROR: portfolio results diverged across jobs values",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

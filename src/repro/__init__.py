@@ -15,6 +15,12 @@ Quickstart::
     choice = choose_period(app, grid)          # Section 6.1.3 procedure
     result = run("Greedy", ProblemInstance(app, grid, choice.period))
     print(result.energy.total, "J per period")
+
+Any solver spec from the unified registry works in place of "Greedy" —
+``run("dpa2d1d+refine", ...)``, ``run("portfolio", ...)`` — or use
+:func:`repro.solve` directly for the full
+:class:`~repro.solvers.SolverResult` (stats, timings, portfolio
+members).  ``repro solvers list`` on the CLI shows the registry.
 """
 
 from repro.core import (
@@ -26,6 +32,7 @@ from repro.core import (
     MappingError,
     ProblemInstance,
     ReproError,
+    UnsupportedPlatform,
     cycle_times,
     energy,
     is_period_feasible,
@@ -52,6 +59,13 @@ from repro.heuristics import (
     run,
 )
 from repro.platform import XSCALE, CMPGrid, PowerModel, xscale_model
+from repro.solvers import (
+    SolverResult,
+    get_solver,
+    parse_solver_spec,
+    solve,
+    solver_names,
+)
 from repro.spg import (
     SPG,
     STREAMIT_TABLE1,
@@ -82,6 +96,7 @@ __all__ = [
     "MappingError",
     "HeuristicFailure",
     "BudgetExceeded",
+    "UnsupportedPlatform",
     "cycle_times",
     "max_cycle_time",
     "is_period_feasible",
@@ -117,6 +132,12 @@ __all__ = [
     "dpa1d_mapping",
     "dpa2d_mapping",
     "dpa2d1d_mapping",
+    # solvers
+    "SolverResult",
+    "solve",
+    "get_solver",
+    "parse_solver_spec",
+    "solver_names",
     # experiments
     "choose_period",
     "run_all",

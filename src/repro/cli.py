@@ -10,6 +10,13 @@ Subcommands
 ``map``
     Map one workflow (or a random SPG) onto a CMP with one heuristic and
     print the mapping, energy breakdown and link utilisation.
+``solvers``
+    List the unified solver registry, or describe one solver / spec
+    (``repro solvers describe dpa2d1d+refine``).
+``solve``
+    Run any registered solver or composite spec on one workflow:
+    ``repro solve --solver dpa2d1d+refine``, ``--solver portfolio``,
+    ``--solver 'greedy|dpa1d'`` (quote ``|`` from the shell).
 ``compare``
     Run all five heuristics on one workflow at the Section-6.1.3 period
     and print the normalised comparison.
@@ -18,11 +25,12 @@ Subcommands
     print/export the tables.
 ``sweep``
     Fan a {topology, size, CCR, app} cross-product over the parallel
-    engine and emit a consolidated JSON report.
+    engine and emit a consolidated JSON report; ``--solvers`` adds the
+    strategy axis.
 
-``map``, ``compare``, ``experiment`` and ``sweep`` accept ``--topology``
-(default ``mesh``, the paper's platform); ``repro platform list`` shows
-the alternatives.
+``map``, ``solve``, ``compare``, ``experiment`` and ``sweep`` accept
+``--topology`` (default ``mesh``, the paper's platform); ``repro
+platform list`` shows the alternatives.
 """
 
 from __future__ import annotations
@@ -47,6 +55,12 @@ from repro.experiments import (
 )
 from repro.heuristics.base import PAPER_ORDER, run
 from repro.platform.topology import TOPOLOGIES, get_topology, topology_names
+from repro.solvers import (
+    SOLVERS,
+    get_solver,
+    parse_solver_spec,
+    solver_names,
+)
 from repro.spg.random_gen import random_spg
 from repro.spg.streamit import STREAMIT_TABLE1, streamit_workflow
 from repro.util.fmt import format_table
@@ -62,6 +76,16 @@ def _grid(spec: str) -> tuple[int, int]:
         raise argparse.ArgumentTypeError(
             f"grid must look like '4x4', got {spec!r}"
         )
+
+
+def _parse_spec_or_report(spec: str, out):
+    """Parse a solver spec, printing the error and returning ``None`` on
+    invalid input (shared by the solve/solvers/sweep commands)."""
+    try:
+        return parse_solver_spec(spec)
+    except (KeyError, ValueError) as exc:
+        print(str(exc.args[0] if exc.args else exc), file=out)
+        return None
 
 
 def _load_app(args) -> tuple[str, object]:
@@ -135,6 +159,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admit general (non-DAG-partition) mappings "
                             "during refinement (Section-7 future work)")
 
+    p_sv = sub.add_parser(
+        "solvers", help="list or describe the registered solvers"
+    )
+    p_sv.add_argument("action", choices=["list", "describe"])
+    p_sv.add_argument("name", nargs="?", default=None,
+                      help="solver name or composite spec to describe")
+
+    p_solve = sub.add_parser(
+        "solve", help="run one solver (or pipeline/portfolio spec)"
+    )
+    add_instance_args(p_solve)
+    p_solve.add_argument(
+        "--solver", "-s", default="greedy", metavar="SPEC",
+        help="registered solver or spec: NAME, NAME+refine, A|B|C "
+             "(default greedy; see 'repro solvers list')",
+    )
+    p_solve.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for portfolio members (0 = all CPUs; "
+             "the winner is identical for any value; default 1)",
+    )
+
     p_cmp = sub.add_parser("compare", help="run all five heuristics")
     add_instance_args(p_cmp)
 
@@ -179,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="APP",
                       help="application classes: random-N or a StreamIt "
                            "name/index (default: random-20)")
+    p_sw.add_argument("--solvers", nargs="+", default=None, metavar="SPEC",
+                      help="solver specs replacing the heuristic columns "
+                           "(e.g. Greedy dpa2d1d+refine portfolio); "
+                           "default: the five paper heuristics")
     p_sw.add_argument("--replicates", type=int, default=1)
     p_sw.add_argument("--seed", type=int, default=0)
     p_sw.add_argument("--refine", action="store_true",
@@ -285,6 +335,89 @@ def cmd_map(args, out) -> int:
     return 0
 
 
+def cmd_solvers(args, out) -> int:
+    if args.action == "list":
+        rows = [
+            [name, SOLVERS[name].kind, SOLVERS[name].summary]
+            for name in solver_names()
+        ]
+        print(format_table(
+            ["name", "kind", "description"], rows,
+            title="Registered solvers (compose specs with '+' and '|', "
+                  "e.g. dpa2d1d+refine, greedy|dpa1d)",
+        ), file=out)
+        return 0
+    if args.name is None:
+        print("solvers describe needs a solver name or spec", file=out)
+        return 2
+    spec = SOLVERS.get(args.name) or SOLVERS.get(args.name.lower())
+    if spec is not None:
+        # Registered name: describe the built solver directly (transform
+        # stages are valid names here even though they cannot *start* a
+        # composite spec).
+        print(f"{spec.name} [{spec.kind}]: {spec.summary}", file=out)
+        print(get_solver(spec.name).describe(), file=out)
+        return 0
+    solver = _parse_spec_or_report(args.name, out)
+    if solver is None:
+        return 2
+    print(solver.describe(), file=out)
+    return 0
+
+
+def cmd_solve(args, out) -> int:
+    label, app = _load_app(args)
+    grid = get_topology(args.topology, *args.grid)
+    solver = _parse_spec_or_report(args.solver, out)
+    if solver is None:
+        return 2
+    solver.set_jobs(args.jobs)
+    T = args.period
+    if T is None:
+        T = choose_period(app, grid, rng=args.seed).period
+        print(f"period (Section 6.1.3): T = {T:g} s", file=out)
+    prob = ProblemInstance(app, grid, T)
+    res = solver.solve(prob, rng=args.seed)
+    members = res.stats.get("members")
+    if members:
+        rows = [
+            [
+                m["solver"],
+                "ok" if m["ok"] else "FAIL",
+                "-" if m["energy"] is None else f"{m['energy']:.4f}",
+                "-" if m["seconds"] is None else f"{m['seconds']:.3f}",
+            ]
+            for m in members
+        ]
+        print(format_table(
+            ["member", "status", "energy [J]", "seconds"], rows,
+            title=f"Portfolio over {len(members)} members "
+                  f"(winner: {res.stats.get('winner')})",
+        ), file=out)
+    for st in res.stats.get("stages", []):
+        e = "-" if st["energy"] is None else f"{st['energy']:.4f}"
+        print(
+            f"stage {st['solver']}: "
+            f"{'ok' if st['ok'] else 'FAIL'}, energy {e} J, "
+            f"{st['seconds']:.3f} s",
+            file=out,
+        )
+    if not res.ok:
+        print(f"{res.solver} FAILED on {label}: {res.failure}", file=out)
+        return 1
+    b = res.energy
+    print(summarize(res.mapping, T), file=out)
+    print(
+        f"solver {res.solver}: energy {b.total:.4f} J/period "
+        f"(comp {b.comp:.4f} + comm {b.comm:.4g}); "
+        f"latency {latency(res.mapping):.4g} s; "
+        f"{res.stats['seconds']:.3f} s wall-clock",
+        file=out,
+    )
+    print(render_mapping(res.mapping, T), file=out)
+    return 0
+
+
 def cmd_compare(args, out) -> int:
     label, app = _load_app(args)
     grid = get_topology(args.topology, *args.grid)
@@ -338,6 +471,12 @@ def cmd_experiment(args, out) -> int:
 
 
 def cmd_sweep(args, out) -> int:
+    # Validate --solvers specs up front so a typo exits cleanly instead
+    # of surfacing as a raw KeyError from inside a (possibly pooled)
+    # worker task.
+    for spec in args.solvers or ():
+        if _parse_spec_or_report(spec, out) is None:
+            return 2
     report = run_scenario_sweep(
         topologies=args.topologies,
         sizes=args.sizes,
@@ -349,6 +488,7 @@ def cmd_sweep(args, out) -> int:
         refine=args.refine,
         refine_sweeps=args.refine_sweeps,
         refine_schedule=args.refine_schedule,
+        solvers=args.solvers,
     )
     print(sweep_summary(report), file=out)
     if args.out:
@@ -366,6 +506,10 @@ def main(argv=None, out=sys.stdout) -> int:
         return cmd_platform(args, out)
     if args.command == "map":
         return cmd_map(args, out)
+    if args.command == "solvers":
+        return cmd_solvers(args, out)
+    if args.command == "solve":
+        return cmd_solve(args, out)
     if args.command == "compare":
         return cmd_compare(args, out)
     if args.command == "experiment":

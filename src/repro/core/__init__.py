@@ -5,6 +5,7 @@ from repro.core.errors import (
     MappingError,
     HeuristicFailure,
     BudgetExceeded,
+    UnsupportedPlatform,
 )
 from repro.core.delta import DeltaState, MoveStage, PowerOff, SwapClusters
 from repro.core.mapping import Mapping
@@ -35,6 +36,7 @@ __all__ = [
     "MappingError",
     "HeuristicFailure",
     "BudgetExceeded",
+    "UnsupportedPlatform",
     "DeltaState",
     "MoveStage",
     "SwapClusters",

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "MappingError", "HeuristicFailure", "BudgetExceeded"]
+__all__ = [
+    "ReproError",
+    "MappingError",
+    "HeuristicFailure",
+    "BudgetExceeded",
+    "UnsupportedPlatform",
+]
 
 
 class ReproError(Exception):
@@ -11,6 +17,17 @@ class ReproError(Exception):
 
 class MappingError(ReproError):
     """A mapping violates a structural or performance constraint."""
+
+
+class UnsupportedPlatform(ReproError):
+    """A solver does not support the requested platform topology.
+
+    Raised *loudly* (instead of silently assuming the paper's mesh) by
+    solvers whose formulation is tied to a specific fabric — e.g. the
+    Section-4.4 ILP, whose communication variables encode the
+    bidirectional mesh's N/S/W/E link structure and whose speed/period
+    constraints assume one homogeneous DVFS model.
+    """
 
 
 class HeuristicFailure(ReproError):

@@ -1,7 +1,12 @@
 """Exact solvers for tiny instances: brute force and the Section-4.4 ILP."""
 
 from repro.exact.brute_force import brute_force_optimal, enumerate_dag_partitions
-from repro.exact.ilp_model import IlpModel, build_ilp, ilp_optimal
+from repro.exact.ilp_model import (
+    IlpModel,
+    build_ilp,
+    ilp_optimal,
+    require_ilp_platform,
+)
 from repro.exact.bnb import BnBResult, solve_binary_program
 
 __all__ = [
@@ -10,6 +15,7 @@ __all__ = [
     "IlpModel",
     "build_ilp",
     "ilp_optimal",
+    "require_ilp_platform",
     "BnBResult",
     "solve_binary_program",
 ]

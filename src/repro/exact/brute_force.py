@@ -3,7 +3,11 @@
 Enumerates every DAG-partition of the SPG (via the order-ideal peeling of
 Section 4.1, which generates exactly the acyclic partitions *ordered* by a
 topological order of their quotient), every injective placement of the
-clusters onto cores, XY routing, and the energy-optimal per-core speeds.
+clusters onto cores, the platform topology's own deterministic routing
+(XY on the mesh, shortest-way on tori/rings, bit-fixing on the Benes
+fabric), and the energy-optimal per-core speeds — drawn from each core's
+own, possibly heterogeneous, DVFS model, so the solver is threaded
+through the PR-2 topology abstraction like the heuristics are.
 
 Exponential, of course — use only for ``n`` up to ~8 and grids up to 3x3.
 The test suite uses it as ground truth for the heuristics and the ILP.
@@ -36,7 +40,14 @@ def enumerate_dag_partitions(
     placements over all permutations anyway).
     """
     spg = problem.spg
-    cap = problem.period * problem.grid.model.s_max
+    grid = problem.grid
+    # Prune clusters by the *fastest* core of the platform: on
+    # heterogeneous fabrics a scaled-up core can execute work the base
+    # model cannot, so capping at ``grid.model.s_max`` would silently
+    # discard feasible partitions (on homogeneous platforms the two caps
+    # are identical).
+    s_max = max(grid.core_model(c).s_max for c in grid.cores())
+    cap = problem.period * s_max
     lat = IdealLattice(spg, budget=1 << 20)
     limit = max_clusters if max_clusters is not None else problem.grid.n_cores
 
@@ -62,16 +73,19 @@ def enumerate_dag_partitions(
 def brute_force_optimal(
     problem: ProblemInstance,
 ) -> tuple[Mapping, float]:
-    """The provably optimal DAG-partition mapping under XY routing.
+    """The provably optimal DAG-partition mapping under topology routing.
 
     Clusters are placed on cores over all injective placements; each core
-    gets the slowest feasible speed (optimal for a fixed assignment because
-    energy per cycle increases with speed).  Raises
-    :class:`HeuristicFailure` when no feasible mapping exists.
+    gets the slowest feasible speed of *its own* DVFS model (optimal for a
+    fixed assignment because energy per cycle increases with speed).
+    Raises :class:`HeuristicFailure` when no feasible mapping exists.
 
-    Note the paper's model leaves the *routing* free; we fix XY routing,
-    which is what every heuristic here uses.  On uni-line platforms XY is
-    the only route, so the result is exactly optimal there.
+    Note the paper's model leaves the *routing* free; we fix the
+    topology's deterministic ``route`` policy (XY on the mesh), which is
+    what every heuristic here uses — placements whose routes are invalid
+    on the fabric (e.g. backward hops on uni-directional lines) are
+    rejected by the structural check.  On uni-line platforms the route
+    is unique, so the result is exactly optimal there.
     """
     spg, grid, T = problem.spg, problem.grid, problem.period
     cores = grid.cores()

@@ -26,16 +26,48 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.errors import HeuristicFailure
+from repro.core.errors import HeuristicFailure, UnsupportedPlatform
 from repro.core.mapping import Mapping
 from repro.core.problem import ProblemInstance
 from repro.exact.bnb import solve_binary_program
 from repro.spg.analysis import descendant_masks
 
-__all__ = ["IlpModel", "build_ilp", "ilp_optimal"]
+__all__ = ["IlpModel", "build_ilp", "ilp_optimal", "require_ilp_platform"]
 
 #: direction -> (du, dv)
 DIRS = {"N": (-1, 0), "S": (1, 0), "W": (0, -1), "E": (0, 1)}
+
+
+def require_ilp_platform(problem: ProblemInstance) -> None:
+    """Fail loudly unless the platform fits the Section-4.4 formulation.
+
+    The ILP's communication variables encode the bidirectional mesh's
+    four link directions and its speed/period constraints assume one
+    homogeneous DVFS model for every core.  Other registered fabrics
+    (tori, rings, Benes, uni-directional lines) and heterogeneous speed
+    scalings would be *silently mis-modelled* — the variables would
+    permit links the platform does not have — so they are rejected here
+    with a clear error instead.
+    """
+    from repro.platform.cmp import CMPGrid
+
+    grid = problem.grid
+    # Exact-type check on purpose: subclasses (e.g. the torus) keep the
+    # mesh's node set but change the link set, which the ILP's N/S/W/E
+    # variables cannot express.
+    if type(grid) is not CMPGrid or grid.uni_directional:
+        raise UnsupportedPlatform(
+            f"the Section-4.4 ILP is formulated for the paper's "
+            f"bidirectional p x q mesh; topology {grid.name!r} has a "
+            "different link structure (use the 'bruteforce' solver, "
+            "which follows the topology's own routing)"
+        )
+    if grid.heterogeneous:
+        raise UnsupportedPlatform(
+            "the Section-4.4 ILP assumes one homogeneous DVFS model for "
+            "all cores; this platform has per-core speed scaling (use "
+            "the 'bruteforce' solver, which honours per-core models)"
+        )
 
 
 @dataclass
@@ -96,7 +128,12 @@ class IlpModel:
 
 
 def build_ilp(problem: ProblemInstance) -> IlpModel:
-    """Assemble the Section-4.4 ILP for ``problem``."""
+    """Assemble the Section-4.4 ILP for ``problem``.
+
+    Raises :class:`UnsupportedPlatform` for non-mesh or heterogeneous
+    platforms (see :func:`require_ilp_platform`).
+    """
+    require_ilp_platform(problem)
     spg, grid, T = problem.spg, problem.grid, problem.period
     model = grid.model
     n = spg.n

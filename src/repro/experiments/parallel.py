@@ -17,6 +17,13 @@ out over a :class:`concurrent.futures.ProcessPoolExecutor`:
 
 ``jobs=1`` (the default everywhere) bypasses the pool entirely and runs
 in-process, which keeps tests, tracebacks and profiling simple.
+
+The engine is strategy-agnostic: the ``heuristics`` tuples inside task
+payloads may name Section-5 heuristics or any solver spec from the
+unified registry (``"dpa2d1d+refine"``, ``"portfolio"`` — see
+``repro.solvers``), and :func:`portfolio_member_task` (re-exported from
+``repro.solvers.composite``) fans portfolio members over the same pool
+with pre-drawn seeds, keeping portfolio winners jobs-invariant too.
 """
 
 from __future__ import annotations
@@ -26,8 +33,15 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
 from repro.experiments.period import PeriodChoice, choose_period
+from repro.solvers.composite import portfolio_member_task
 
-__all__ = ["resolve_jobs", "run_tasks", "random_panel_task", "streamit_task"]
+__all__ = [
+    "resolve_jobs",
+    "run_tasks",
+    "random_panel_task",
+    "streamit_task",
+    "portfolio_member_task",
+]
 
 
 def resolve_jobs(jobs: int | None) -> int:

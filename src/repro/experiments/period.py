@@ -43,7 +43,13 @@ def run_all(
     rng=None,
     options: dict | None = None,
 ) -> dict[str, HeuristicResult]:
-    """Run every heuristic on ``problem`` with per-heuristic RNG streams."""
+    """Run every solver on ``problem`` with per-solver RNG streams.
+
+    ``heuristics`` entries are Section-5 heuristic names or any solver
+    spec from the unified registry (``"dpa2d1d+refine"``,
+    ``"portfolio"``, ...); each gets an independent child stream drawn
+    from the shared ``rng`` in column order.
+    """
     rng = as_rng(rng)
     options = options or {}
     out: dict[str, HeuristicResult] = {}

@@ -16,9 +16,9 @@ from repro.experiments.runner import (
     FailureCounter,
     InstanceRecord,
     normalized_inverse_energy,
-    refine_options,
 )
 from repro.heuristics.base import PAPER_ORDER
+from repro.solvers.options import merge_solver_options
 from repro.platform.topology import Topology
 from repro.spg.random_gen import random_spg_with_elevation
 from repro.util.fmt import format_table
@@ -96,6 +96,7 @@ def run_random_experiment(
     refine: bool = False,
     refine_sweeps: int = 4,
     refine_schedule: str = "first",
+    solvers=None,
 ) -> RandomExperiment:
     """Run one Figure-10..13 panel.
 
@@ -103,17 +104,21 @@ def run_random_experiment(
     a smaller ``replicates`` (recorded in EXPERIMENTS.md) to bound wall-time.
 
     ``jobs`` fans the per-replicate ``choose_period`` runs out over a
-    process pool (``None``/``0`` = all CPUs).  The instances and heuristic
+    process pool (``None``/``0`` = all CPUs).  The instances and solver
     seeds are generated serially in the parent first, so the results are
     bit-identical for every ``jobs`` value.
 
-    ``refine=True`` post-refines every successful heuristic mapping with
-    the delta-evaluated local search (``refine_sweeps``/``refine_schedule``
-    select its budget and acceptance rule).
+    ``solvers``, when given, replaces the ``heuristics`` axis with
+    arbitrary solver specs (``"dpa2d1d+refine"``, ``"portfolio"``, ...)
+    from the unified registry — the comparison columns become those
+    specs.  ``refine=True`` (deprecated alias of a ``"+refine"`` stage)
+    post-refines every successful mapping with the delta-evaluated local
+    search (``refine_sweeps``/``refine_schedule`` select its budget and
+    acceptance rule).
     """
     rng = as_rng(seed)
-    heuristics = tuple(heuristics)
-    options = refine_options(
+    heuristics = tuple(solvers) if solvers else tuple(heuristics)
+    options = merge_solver_options(
         options, heuristics, refine, refine_sweeps, refine_schedule
     )
     labels: list[tuple[int, str]] = []

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments.period import PeriodChoice
 from repro.heuristics.base import PAPER_ORDER, HeuristicResult
+from repro.solvers.options import merge_solver_options
 
 __all__ = ["InstanceRecord", "FailureCounter", "normalized_energy",
            "normalized_inverse_energy", "refine_options"]
@@ -18,24 +19,16 @@ def refine_options(
     sweeps: int = 4,
     schedule: str = "first",
 ) -> dict | None:
-    """Merge refinement flags into per-heuristic run options.
+    """Deprecated alias of :func:`repro.solvers.merge_solver_options`.
 
-    The experiment runners thread refinement to the workers through the
-    existing per-heuristic ``options`` dict (so task tuples and worker
-    signatures stay unchanged); explicit per-heuristic settings win over
-    the runner-level flags.  Returns ``options`` untouched when
-    ``refine`` is false.
+    Kept for callers of the historical name; the refine-kwargs plumbing
+    it merged is itself deprecated in favour of ``"+refine"`` solver
+    specs (``run_*_experiment(solvers=("dpa2d1d+refine", ...))``).
     """
-    if not refine:
-        return options
-    merged = dict(options or {})
-    for name in heuristics:
-        entry = dict(merged.get(name, {}))
-        entry.setdefault("refine", True)
-        entry.setdefault("refine_sweeps", sweeps)
-        entry.setdefault("refine_schedule", schedule)
-        merged[name] = entry
-    return merged
+    return merge_solver_options(
+        options, heuristics, refine=refine,
+        refine_sweeps=sweeps, refine_schedule=schedule,
+    )
 
 
 @dataclass(frozen=True)

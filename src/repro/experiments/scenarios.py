@@ -3,18 +3,23 @@
 The ROADMAP's north star asks for "as many scenarios as you can imagine";
 this module fans a cross-product of **{topology, platform size, CCR,
 application class}** over the PR-1 parallel experiment engine and emits
-one consolidated, JSON-serialisable report.
+one consolidated, JSON-serialisable report.  The strategy axis is the
+unified solver registry: ``solvers=`` (CLI ``--solvers``) replaces the
+default heuristic columns with arbitrary solver specs, so the
+cross-product also fans over strategies (``dpa2d1d+refine``,
+``portfolio``, ``greedy|dpa1d``, ...).
 
 Each scenario instance runs the full divide-by-10 period selection plus
-every requested heuristic (independently re-validated by
+every requested solver (independently re-validated by
 :func:`repro.heuristics.base.run`, so every route in the report passed
-``Topology.validate_path``).  Instances and heuristic seeds are generated
+``Topology.validate_path``).  Instances and solver seeds are generated
 serially in the parent in a fixed order, then executed through
 :func:`repro.experiments.parallel.run_tasks` — results are bit-identical
 for any ``jobs`` value, exactly as in the figure sweeps.
 
 CLI: ``repro sweep --topologies mesh torus benes --sizes 3x3 4x4
---ccr 1 10 --apps random-20 FMRadio --replicates 2 --jobs 0 --out r.json``.
+--ccr 1 10 --apps random-20 FMRadio --solvers Greedy dpa2d1d+refine
+--replicates 2 --jobs 0 --out r.json``.
 """
 
 from __future__ import annotations
@@ -23,8 +28,8 @@ from dataclasses import dataclass
 
 from repro.experiments.parallel import random_panel_task, run_tasks
 from repro.experiments.period import PeriodChoice
-from repro.experiments.runner import refine_options
 from repro.heuristics.base import PAPER_ORDER
+from repro.solvers.options import merge_solver_options
 from repro.platform.topology import Topology, get_topology
 from repro.spg.random_gen import random_spg
 from repro.util.fmt import format_table
@@ -165,23 +170,28 @@ def run_scenario_sweep(
     refine: bool = False,
     refine_sweeps: int = 4,
     refine_schedule: str = "first",
+    solvers=None,
 ) -> dict:
     """Run the sweep and return the consolidated JSON-serialisable report.
 
     ``jobs`` fans the per-instance ``choose_period`` runs over the PR-1
-    process pool (``None``/``0`` = all CPUs); instances and heuristic
+    process pool (``None``/``0`` = all CPUs); instances and solver
     seeds are pre-drawn serially so results match a serial run bit for
     bit.
 
-    ``refine=True`` post-refines every successful heuristic mapping with
-    the delta-evaluated local search (CLI: ``repro sweep --refine``);
-    ``refine_sweeps``/``refine_schedule`` select its budget and
-    acceptance rule.  Refined mappings pass the same structural re-checks
-    as raw heuristic outputs.
+    ``solvers``, when given, replaces the ``heuristics`` columns with
+    arbitrary solver specs from the unified registry (CLI: ``repro
+    sweep --solvers Greedy dpa2d1d+refine portfolio``), adding a
+    strategy axis to the scenario cross-product.  ``refine=True``
+    (deprecated alias of a ``"+refine"`` stage; CLI: ``repro sweep
+    --refine``) post-refines every successful mapping with the
+    delta-evaluated local search; ``refine_sweeps``/``refine_schedule``
+    select its budget and acceptance rule.  Refined mappings pass the
+    same structural re-checks as raw solver outputs.
     """
     rng = as_rng(seed)
-    heuristics = tuple(heuristics)
-    options = refine_options(
+    heuristics = tuple(solvers) if solvers else tuple(heuristics)
+    options = merge_solver_options(
         options, heuristics, refine, refine_sweeps, refine_schedule
     )
     scenarios = build_scenarios(topologies, sizes, ccrs, apps)
@@ -225,7 +235,14 @@ def run_scenario_sweep(
         "meta": {
             "seed": seed,
             "replicates": replicates,
+            # "solvers" names the actual sweep columns; "heuristics" is
+            # retained for pre-solver-axis report consumers and holds
+            # the same list.  "solver_axis" records whether the columns
+            # came from an explicit solvers= request (specs) or the
+            # default heuristic set.
             "heuristics": list(heuristics),
+            "solvers": list(heuristics),
+            "solver_axis": solvers is not None,
             "scenario_count": len(scenarios),
             "instance_count": len(tasks),
             "refine": bool(refine),
@@ -237,7 +254,8 @@ def run_scenario_sweep(
 
 def sweep_summary(report: dict) -> str:
     """Render one ASCII table summarising a sweep report."""
-    heuristics = report["meta"]["heuristics"]
+    meta = report["meta"]
+    heuristics = meta.get("solvers", meta["heuristics"])
     rows = []
     for sc in report["scenarios"]:
         n = sc["instances"]

@@ -15,9 +15,9 @@ from repro.experiments.runner import (
     FailureCounter,
     InstanceRecord,
     normalized_energy,
-    refine_options,
 )
 from repro.heuristics.base import PAPER_ORDER
+from repro.solvers.options import merge_solver_options
 from repro.platform.topology import Topology
 from repro.spg.streamit import STREAMIT_TABLE1
 from repro.util.fmt import format_table
@@ -94,6 +94,7 @@ def run_streamit_experiment(
     refine: bool = False,
     refine_sweeps: int = 4,
     refine_schedule: str = "first",
+    solvers=None,
 ) -> StreamItExperiment:
     """Run the Figure-8/9 sweep on ``grid``.
 
@@ -101,16 +102,20 @@ def run_streamit_experiment(
     benchmarks use subsets to bound wall-time.
 
     ``jobs`` fans the per-instance ``choose_period`` runs out over a
-    process pool (``None``/``0`` = all CPUs); heuristic seeds are pre-drawn
+    process pool (``None``/``0`` = all CPUs); solver seeds are pre-drawn
     serially so results match a serial run bit for bit.
 
-    ``refine=True`` post-refines every successful heuristic mapping with
-    the delta-evaluated local search (``refine_sweeps``/``refine_schedule``
-    select its budget and acceptance rule).
+    ``solvers``, when given, replaces the ``heuristics`` axis with
+    arbitrary solver specs from the unified registry
+    (``"dpa2d1d+refine"``, ``"portfolio"``, ...).  ``refine=True``
+    (deprecated alias of a ``"+refine"`` stage) post-refines every
+    successful mapping with the delta-evaluated local search
+    (``refine_sweeps``/``refine_schedule`` select its budget and
+    acceptance rule).
     """
     rng = as_rng(seed)
-    heuristics = tuple(heuristics)
-    options = refine_options(
+    heuristics = tuple(solvers) if solvers else tuple(heuristics)
+    options = merge_solver_options(
         options, heuristics, refine, refine_sweeps, refine_schedule
     )
     indices = workflows or tuple(s.index for s in STREAMIT_TABLE1)

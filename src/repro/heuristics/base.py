@@ -5,15 +5,21 @@ raising :class:`repro.core.errors.HeuristicFailure` when it cannot produce a
 valid mapping (a normal outcome counted by Tables 2 and 3 of the paper).
 :func:`run` wraps a heuristic call with independent re-validation and energy
 accounting so results never depend on heuristic-internal bookkeeping.
+
+``run`` is now a thin front on the unified solver layer
+(``repro.solvers``): the name may be a Section-5 heuristic or any solver
+spec (``"dpa2d1d+refine"``, ``"portfolio"``), and the legacy
+``refine=...`` kwargs alias the ``"+refine"`` pipeline stage — the
+registry-routed path is pinned bit-identical to the historical direct
+calls by the golden fixtures and ``tests/test_solvers.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.errors import HeuristicFailure, MappingError
-from repro.core.evaluate import EnergyBreakdown, validate
+from repro.core.evaluate import EnergyBreakdown
 from repro.core.mapping import Mapping
 from repro.core.problem import ProblemInstance
 
@@ -22,12 +28,21 @@ __all__ = ["HeuristicResult", "REGISTRY", "PAPER_ORDER", "register", "run"]
 
 @dataclass(frozen=True)
 class HeuristicResult:
-    """Outcome of one heuristic run on one problem instance."""
+    """Outcome of one solver run on one problem instance.
+
+    The legacy-stable view of :class:`repro.solvers.SolverResult` that
+    the experiment records are built from (kept a separate frozen type
+    so its positional field order and equality semantics never move).
+    ``stats`` carries the solver layer's metadata — wall-clock timings,
+    pipeline stages, portfolio members/winner — and is excluded from
+    equality (timings differ run to run; results must not).
+    """
 
     name: str
     mapping: Mapping | None
     energy: EnergyBreakdown | None
     failure: str | None = None
+    stats: dict = field(default_factory=dict, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -66,48 +81,35 @@ def run(
     refine_allow_general: bool = False,
     **options,
 ) -> HeuristicResult:
-    """Run heuristic ``name`` and re-validate its output independently.
+    """Run solver ``name`` and re-validate its output independently.
 
-    A mapping that fails independent validation is treated as a heuristic
-    failure (and flagged in the failure message, since it would indicate a
-    heuristic bug rather than an infeasible instance).
+    ``name`` is a Section-5 heuristic registry name (``"Random"``, ...)
+    or any solver spec accepted by
+    :func:`repro.solvers.parse_solver_spec` (``"dpa2d1d+refine"``,
+    ``"bruteforce"``, ``"portfolio"``, ``"greedy|dpa1d"``); unknown
+    names raise ``KeyError`` and structurally invalid specs (a bare
+    transform like ``"refine"``, a producer after ``+``) raise
+    ``ValueError``.  A mapping that fails independent
+    validation is treated as a failure (and flagged in the failure
+    message, since it would indicate a solver bug rather than an
+    infeasible instance).
 
     ``refine=True`` post-processes a successful mapping through the
-    delta-evaluated local-search refiner (continuing the heuristic's RNG
+    delta-evaluated local-search refiner (continuing the solver's RNG
     stream, so results stay deterministic per seed); the refined mapping
-    is re-validated the same way.  The ``refine_*`` options select the
-    sweep budget, the acceptance schedule and whether *general* (non
-    DAG-partition) clusterings are admitted — the experiment runners and
-    the scenario sweep thread them through per-heuristic ``options``.
+    is re-validated the same way.  The ``refine_*`` kwargs are the
+    **deprecated-but-aliased** spelling of a ``"+refine"`` pipeline
+    stage — ``run("DPA2D1D", p, refine=True)`` and
+    ``run("dpa2d1d+refine", p)`` are bit-identical; prefer the spec.
     """
-    fn = REGISTRY[name]
-    try:
-        mapping = fn(problem, rng=rng, **options)
-    except HeuristicFailure as exc:
-        return HeuristicResult(name, None, None, failure=str(exc) or "failed")
-    if refine:
-        from repro.heuristics.refine import refine_mapping
+    from repro.solvers import solver_for_run
 
-        # Only refine mappings that pass independent validation — a
-        # buggy heuristic output must surface as INVALID OUTPUT below,
-        # not as an exception out of the refiner's bookkeeping.
-        try:
-            validate(mapping, problem.period)
-        except MappingError as exc:
-            return HeuristicResult(
-                name, None, None, failure=f"INVALID OUTPUT: {exc}"
-            )
-        mapping = refine_mapping(
-            problem, mapping, rng=rng, sweeps=refine_sweeps,
-            allow_general=refine_allow_general, schedule=refine_schedule,
-        )
-    try:
-        breakdown = validate(
-            mapping, problem.period,
-            require_dag_partition=not (refine and refine_allow_general),
-        )
-    except MappingError as exc:  # pragma: no cover - heuristic bug guard
-        return HeuristicResult(
-            name, None, None, failure=f"INVALID OUTPUT: {exc}"
-        )
-    return HeuristicResult(name, mapping, breakdown)
+    solver = solver_for_run(
+        name, options=options, refine=refine, refine_sweeps=refine_sweeps,
+        refine_schedule=refine_schedule,
+        refine_allow_general=refine_allow_general,
+    )
+    res = solver.solve(problem, rng=rng)
+    return HeuristicResult(
+        name, res.mapping, res.energy, res.failure, stats=res.stats
+    )

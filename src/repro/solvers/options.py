@@ -1,0 +1,113 @@
+"""Shared run-option plumbing between the experiment runners and solvers.
+
+Before the solver layer, ``random_experiments.py``,
+``streamit_experiments.py`` and ``scenarios.py`` each threaded the
+runner-level refinement flags into per-solver worker options through
+copy-pasted ``refine_options(...)`` calls.  That plumbing now lives here
+once: :func:`merge_solver_options` works for any mix of legacy heuristic
+names and solver-spec strings, and the old ``refine_options`` name
+survives as a deprecated alias in ``repro.experiments.runner``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["merge_solver_options", "solver_for_run"]
+
+
+def _has_refine_stage(name: str) -> bool:
+    """True iff spec ``name`` already pipelines a refine stage.
+
+    Case-insensitive, matching ``get_solver``'s key lookup.
+    """
+    return any(
+        stage.strip().lower().startswith("refine")
+        for member in name.split("|")
+        for stage in member.split("+")[1:]
+    )
+
+
+def merge_solver_options(
+    options: dict | None,
+    names,
+    refine: bool = False,
+    refine_sweeps: int = 4,
+    refine_schedule: str = "first",
+) -> dict | None:
+    """Merge runner-level refinement flags into per-solver run options.
+
+    ``names`` are the solver columns of the sweep — legacy heuristic
+    names or solver specs; the merged entries feed ``run(name, ...,
+    **options[name])`` inside the workers (task tuples and worker
+    signatures stay unchanged).  Explicit per-solver settings win over
+    the runner-level flags; columns whose spec already pipelines a
+    refine stage (``"dpa2d1d+refine"``) are left alone, so combining
+    ``--refine`` with ``--solvers X+refine`` does not silently run the
+    refinement twice.  ``options`` is returned untouched when
+    ``refine`` is false.
+    """
+    if not refine:
+        return options
+    merged = dict(options or {})
+    for name in names:
+        if _has_refine_stage(name):
+            continue
+        entry = dict(merged.get(name, {}))
+        entry.setdefault("refine", True)
+        entry.setdefault("refine_sweeps", refine_sweeps)
+        entry.setdefault("refine_schedule", refine_schedule)
+        merged[name] = entry
+    return merged
+
+
+def solver_for_run(
+    name: str,
+    options: dict | None = None,
+    refine: bool = False,
+    refine_sweeps: int = 4,
+    refine_schedule: str = "first",
+    refine_allow_general: bool = False,
+):
+    """The solver behind one ``heuristics.base.run`` invocation.
+
+    ``name`` may be a legacy Section-5 heuristic registry name
+    (``"Random"``, ``"Greedy"``, ...) — wrapped directly so ad-hoc test
+    registrations keep working — or any solver spec
+    (``"dpa2d1d+refine"``, ``"portfolio"``, ``"greedy|dpa1d"``).  The
+    deprecated ``refine`` kwargs append a :class:`RefineStage`, exactly
+    aliasing the ``"+refine"`` spec syntax.  ``refine=True`` on a spec
+    that already pipelines a refine stage is a no-op (the request is
+    already satisfied — refinement never runs twice), but combining
+    such a spec with *non-default* ``refine_*`` settings is a conflict
+    and raises ``ValueError`` rather than silently dropping them.
+
+    Raises ``KeyError`` for unknown names (the historical ``run``
+    contract) and ``ValueError`` for structurally invalid specs.
+    """
+    from repro.heuristics.base import REGISTRY as HEURISTICS
+    from repro.solvers.adapters import HeuristicSolver, RefineStage
+    from repro.solvers.base import parse_solver_spec
+    from repro.solvers.composite import PipelineSolver
+
+    if name in HEURISTICS:
+        base = HeuristicSolver(name, options, spec=name)
+    else:
+        base = parse_solver_spec(name, options or None)
+    if not refine:
+        return base
+    if _has_refine_stage(name):
+        if (refine_schedule != "first" or refine_sweeps != 4
+                or refine_allow_general):
+            raise ValueError(
+                f"spec {name!r} already pipelines a refine stage; "
+                "configure it in the spec (e.g. '+refine-best', "
+                "'+refine-anneal') instead of passing conflicting "
+                "refine_* options"
+            )
+        return base
+    return PipelineSolver(
+        [base, RefineStage(
+            sweeps=refine_sweeps, schedule=refine_schedule,
+            allow_general=refine_allow_general,
+        )],
+        spec=f"{name}+refine",
+    )

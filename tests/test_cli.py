@@ -100,3 +100,98 @@ class TestExperiment:
     def test_parser_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+
+class TestSolvers:
+    def test_list_shows_registry(self):
+        code, text = run_cli("solvers", "list")
+        assert code == 0
+        for name in ("greedy", "dpa2d1d", "bruteforce", "ilp", "bnb",
+                     "refine", "portfolio"):
+            assert name in text
+
+    def test_describe_named_solver(self):
+        code, text = run_cli("solvers", "describe", "portfolio")
+        assert code == 0
+        assert "portfolio" in text
+
+    def test_describe_pipeline_spec(self):
+        code, text = run_cli("solvers", "describe", "dpa2d1d+refine")
+        assert code == 0
+        assert "pipeline" in text and "refine" in text
+
+    def test_describe_transform_stage(self):
+        """Registered transforms are describable even though they cannot
+        start a composite spec."""
+        for name in ("refine", "refine-best", "refine-anneal"):
+            code, text = run_cli("solvers", "describe", name)
+            assert code == 0, name
+            assert "transform" in text
+
+    def test_describe_without_name(self):
+        code, _text = run_cli("solvers", "describe")
+        assert code == 2
+
+    def test_describe_unknown(self):
+        code, text = run_cli("solvers", "describe", "frobnicate")
+        assert code == 2
+        assert "unknown solver" in text
+
+
+class TestSolve:
+    def test_pipeline_spec(self):
+        code, text = run_cli(
+            "solve", "-w", "DCT", "--solver", "dpa2d1d+refine", "--seed", "0"
+        )
+        assert code == 0
+        assert "stage dpa2d1d" in text and "stage refine" in text
+        assert "solver dpa2d1d+refine" in text
+
+    def test_portfolio_prints_member_table(self):
+        code, text = run_cli(
+            "solve", "-w", "DCT", "--solver", "portfolio", "--seed", "0"
+        )
+        assert code == 0
+        assert "winner" in text
+        for member in ("random", "greedy", "dpa2d", "dpa1d", "dpa2d1d"):
+            assert member in text
+
+    def test_failure_exit_code(self):
+        code, text = run_cli(
+            "solve", "-w", "DCT", "--solver", "greedy", "-T", "1e-6"
+        )
+        assert code == 1
+        assert "FAILED" in text
+
+    def test_unknown_spec_exit_code(self):
+        code, text = run_cli("solve", "-w", "DCT", "--solver", "nope+refine")
+        assert code == 2
+        assert "unknown solver" in text
+
+    def test_transform_only_spec_rejected(self):
+        code, text = run_cli("solve", "-w", "DCT", "--solver", "refine")
+        assert code == 2
+        assert "transform" in text
+
+
+class TestSweepSolvers:
+    def test_solvers_axis(self, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        code, text = run_cli(
+            "sweep", "--topologies", "mesh", "--sizes", "2x2",
+            "--ccr", "1.0", "--apps", "random-12", "--replicates", "1",
+            "--solvers", "Greedy", "dpa2d1d+refine",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        assert "dpa2d1d+refine" in text
+        assert out_path.exists()
+
+    def test_invalid_spec_exits_cleanly(self):
+        code, text = run_cli(
+            "sweep", "--topologies", "mesh", "--sizes", "2x2",
+            "--ccr", "1.0", "--apps", "random-8", "--replicates", "1",
+            "--solvers", "Gredy",
+        )
+        assert code == 2
+        assert "unknown solver" in text

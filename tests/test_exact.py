@@ -180,3 +180,55 @@ class TestIlp:
         cl = {i: m.alloc[i] for i in range(4)}
         if cl[0] == cl[3]:
             assert cl[1] == cl[0] and cl[2] == cl[0]
+
+
+class TestTopologyThreading:
+    """PR-4 satellite: exact solvers are threaded through the topology
+    abstraction like the heuristics — brute force follows any fabric's
+    own routing and per-core models, the ILP fails loudly where its
+    mesh formulation does not apply."""
+
+    def test_bruteforce_on_torus_beats_heuristics(self, xscale):
+        from repro.experiments import run_all
+        from repro.platform.topology import get_topology
+
+        g = diamond((4e8, 2e8, 3e8, 1e8), (1e7, 2e7, 3e7, 4e7))
+        prob = ProblemInstance(g, get_topology("torus", 3, 3, xscale), 0.6)
+        m, best = brute_force_optimal(prob)
+        validate(m, 0.6)
+        for path in m.paths.values():
+            prob.grid.validate_path(path)
+        for name, res in run_all(prob, rng=0).items():
+            if res.ok:
+                assert res.total_energy >= best * (1 - 1e-9), name
+
+    def test_bruteforce_heterogeneous_cap_uses_fastest_core(self, xscale):
+        """A stage only the scaled-up core can execute must be found
+        (the old ``grid.model.s_max`` cap silently pruned it)."""
+        s_max = xscale.s_max
+        grid = CMPGrid(1, 2, xscale, speed_scales=(((0, 0), 2.0),))
+        g = chain(2, [1.5 * s_max, 0.1 * s_max], [1e3])
+        m, _e = brute_force_optimal(ProblemInstance(g, grid, 1.0))
+        assert m.alloc[0] == (0, 0)  # the big stage sits on the fast core
+        validate(m, 1.0)
+
+    def test_ilp_rejects_non_mesh_topologies(self, xscale):
+        from repro.core.errors import UnsupportedPlatform
+        from repro.platform.topology import get_topology
+
+        g = diamond((4e8, 2e8, 3e8, 1e8), (1e7, 2e7, 3e7, 4e7))
+        for topo in ("torus", "ring", "benes"):
+            prob = ProblemInstance(g, get_topology(topo, 2, 2, xscale), 0.6)
+            with pytest.raises(UnsupportedPlatform, match="mesh"):
+                ilp_optimal(prob)
+
+    def test_ilp_rejects_heterogeneous_and_unidirectional(self, xscale):
+        from repro.core.errors import UnsupportedPlatform
+
+        g = chain(2, [1e8, 1e8], [1e3])
+        het = CMPGrid(2, 2, xscale, speed_scales=(((0, 0), 0.5),))
+        with pytest.raises(UnsupportedPlatform, match="homogeneous"):
+            ilp_optimal(ProblemInstance(g, het, 1.0))
+        uni = CMPGrid.uni_line(2, xscale, uni_directional=True)
+        with pytest.raises(UnsupportedPlatform, match="link structure"):
+            build_ilp(ProblemInstance(g, uni, 1.0))

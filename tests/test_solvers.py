@@ -1,0 +1,487 @@
+"""Tests for the unified solver registry, spec parsing and composites.
+
+The load-bearing assertions are the *golden-equivalence* ones: every
+registry-routed solver must match the legacy direct call path it wraps
+bit for bit (same allocation, same speeds, same repr-exact energy), and
+portfolio winners must be identical for any ``jobs`` value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import HeuristicFailure, MappingError
+from repro.core.evaluate import validate
+from repro.core.problem import ProblemInstance
+from repro.experiments import choose_period
+from repro.experiments.parallel import pool_available
+from repro.heuristics.base import PAPER_ORDER, REGISTRY, run
+from repro.platform.cmp import CMPGrid
+from repro.solvers import (
+    HEURISTIC_KEYS,
+    SOLVERS,
+    PipelineSolver,
+    PortfolioSolver,
+    RefineStage,
+    get_solver,
+    merge_solver_options,
+    parse_solver_spec,
+    solve,
+    solver_names,
+)
+from repro.spg.random_gen import random_spg
+from repro.util.rng import as_rng
+
+
+@pytest.fixture(scope="module")
+def instance():
+    """One fixed, feasible mesh instance shared by the module."""
+    spg = random_spg(20, rng=3, ccr=10.0)
+    grid = CMPGrid(3, 3)
+    T = choose_period(spg, grid, rng=7).period
+    return ProblemInstance(spg, grid, T)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_expected_solvers_registered(self):
+        expected = {
+            "random", "greedy", "dpa2d", "dpa1d", "dpa2d1d",
+            "bruteforce", "ilp", "bnb",
+            "refine", "refine-best", "refine-anneal",
+            "portfolio",
+        }
+        assert expected <= set(solver_names())
+
+    def test_kinds(self):
+        assert SOLVERS["greedy"].kind == "producer"
+        assert SOLVERS["refine"].kind == "transform"
+        assert SOLVERS["portfolio"].kind == "composite"
+
+    def test_every_paper_heuristic_is_wrapped(self):
+        assert set(HEURISTIC_KEYS.values()) == set(PAPER_ORDER)
+
+    def test_unknown_name_raises_keyerror_with_names(self):
+        with pytest.raises(KeyError, match="available"):
+            get_solver("no-such-solver")
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_solver("DPA2D1D").spec == "dpa2d1d"
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+class TestSpecParsing:
+    def test_single_name(self):
+        s = parse_solver_spec("greedy")
+        assert s.kind == "producer" and s.spec == "greedy"
+
+    def test_pipeline_spec(self):
+        s = parse_solver_spec("dpa2d1d+refine")
+        assert isinstance(s, PipelineSolver)
+        assert [st.spec for st in s.stages] == ["dpa2d1d", "refine"]
+
+    def test_portfolio_spec(self):
+        s = parse_solver_spec("greedy|dpa2d1d+refine")
+        assert isinstance(s, PortfolioSolver)
+        assert s.members == ["greedy", "dpa2d1d+refine"]
+
+    def test_unknown_member_raises(self):
+        with pytest.raises(KeyError):
+            parse_solver_spec("greedy|nope")
+
+    def test_transform_cannot_start(self):
+        with pytest.raises(ValueError, match="transform"):
+            parse_solver_spec("refine")
+        with pytest.raises(ValueError, match="transform"):
+            parse_solver_spec("refine+greedy")
+
+    def test_producer_cannot_follow(self):
+        with pytest.raises(ValueError, match="pipeline"):
+            parse_solver_spec("greedy+dpa1d")
+
+    def test_empty_spec(self):
+        with pytest.raises(ValueError):
+            parse_solver_spec("   ")
+
+    def test_portfolio_rejects_producer_options(self):
+        with pytest.raises(ValueError, match="portfolio"):
+            parse_solver_spec("greedy|dpa1d", options={"trials": 2})
+
+    def test_solver_passthrough(self):
+        s = get_solver("greedy")
+        assert parse_solver_spec(s) is s
+
+
+# ----------------------------------------------------------------------
+# Golden equivalence against the legacy direct call paths
+# ----------------------------------------------------------------------
+def legacy_run(name, problem, rng=None, refine=False, sweeps=4,
+               schedule="first", allow_general=False, **options):
+    """The pre-registry ``heuristics.base.run`` body, verbatim."""
+    fn = REGISTRY[name]
+    try:
+        mapping = fn(problem, rng=rng, **options)
+    except HeuristicFailure as exc:
+        return None, None, str(exc) or "failed"
+    if refine:
+        from repro.heuristics.refine import refine_mapping
+
+        try:
+            validate(mapping, problem.period)
+        except MappingError as exc:
+            return None, None, f"INVALID OUTPUT: {exc}"
+        mapping = refine_mapping(
+            problem, mapping, rng=rng, sweeps=sweeps,
+            allow_general=allow_general, schedule=schedule,
+        )
+    try:
+        breakdown = validate(
+            mapping, problem.period,
+            require_dag_partition=not (refine and allow_general),
+        )
+    except MappingError as exc:
+        return None, None, f"INVALID OUTPUT: {exc}"
+    return mapping, breakdown, None
+
+
+def assert_same_outcome(res, mapping, breakdown, failure):
+    assert res.ok == (mapping is not None)
+    if mapping is None:
+        assert res.failure == failure
+        return
+    assert res.mapping.alloc == mapping.alloc
+    assert res.mapping.speeds == mapping.speeds
+    assert res.mapping.paths == mapping.paths
+    assert repr(res.total_energy) == repr(breakdown.total)
+
+
+class TestLegacyEquivalence:
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_registry_matches_direct_call(self, instance, name, seed):
+        res = solve(name.lower(), instance, rng=as_rng(seed))
+        expected = legacy_run(name, instance, rng=as_rng(seed))
+        assert_same_outcome(res, *expected)
+
+    @pytest.mark.parametrize("name", ["Random", "Greedy", "DPA2D1D"])
+    @pytest.mark.parametrize("schedule", ["first", "best"])
+    def test_refine_pipeline_matches_refine_kwargs(
+        self, instance, name, schedule
+    ):
+        stage = "refine" if schedule == "first" else f"refine-{schedule}"
+        res = solve(f"{name.lower()}+{stage}", instance, rng=as_rng(5))
+        expected = legacy_run(
+            name, instance, rng=as_rng(5), refine=True, schedule=schedule
+        )
+        assert_same_outcome(res, *expected)
+
+    def test_run_wrapper_refine_kwargs_alias_the_spec(self, instance):
+        a = run("DPA2D1D", instance, rng=as_rng(9), refine=True)
+        b = run("dpa2d1d+refine", instance, rng=as_rng(9))
+        assert repr(a.total_energy) == repr(b.total_energy)
+        assert a.mapping.alloc == b.mapping.alloc
+
+    def test_refine_kwarg_on_refined_spec_never_refines_twice(
+        self, instance
+    ):
+        """refine=True on a spec already ending in +refine is a no-op,
+        not a second refinement pass."""
+        a = run("dpa2d1d+refine", instance, rng=as_rng(9), refine=True)
+        b = run("dpa2d1d+refine", instance, rng=as_rng(9))
+        assert repr(a.total_energy) == repr(b.total_energy)
+        assert a.mapping.alloc == b.mapping.alloc
+        assert [s["solver"] for s in a.stats["stages"]] == [
+            "dpa2d1d", "refine"
+        ]
+
+    def test_conflicting_refine_options_raise(self, instance):
+        """Non-default refine_* settings on an already-refined spec are
+        a conflict, not a silent drop."""
+        with pytest.raises(ValueError, match="already pipelines"):
+            run("dpa2d1d+refine", instance, rng=as_rng(9),
+                refine=True, refine_schedule="anneal")
+        with pytest.raises(ValueError, match="already pipelines"):
+            run("dpa2d1d+refine-best", instance, rng=as_rng(9),
+                refine=True, refine_allow_general=True)
+
+    def test_run_results_carry_solver_stats(self, instance):
+        """Portfolio metadata survives the HeuristicResult conversion
+        (so experiment records can say which member won)."""
+        res = run("portfolio", instance, rng=as_rng(5))
+        assert res.stats["winner"] is not None
+        assert len(res.stats["members"]) == 5
+        assert res.stats["seconds"] >= 0
+
+    def test_run_wrapper_failure_contract_unchanged(self, instance):
+        tight = instance.scaled(1e-9)
+        res = run("Greedy", tight, rng=0)
+        assert not res.ok and res.failure
+
+    def test_run_rejects_unknown_spec(self, instance):
+        with pytest.raises(KeyError):
+            run("NoSuchSolver+refine", instance)
+
+
+class TestExactAdapters:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        spg = random_spg(6, rng=1, ccr=1.0)
+        grid = CMPGrid(2, 2)
+        T = choose_period(spg, grid, rng=1).period
+        return ProblemInstance(spg, grid, T)
+
+    def test_bruteforce_matches_direct_call(self, tiny):
+        from repro.exact import brute_force_optimal
+
+        mapping, obj = brute_force_optimal(tiny)
+        res = solve("bruteforce", tiny)
+        assert res.ok
+        assert res.mapping.alloc == mapping.alloc
+        assert repr(res.total_energy) == repr(obj)
+        assert res.stats["objective"] == obj
+
+    def test_bruteforce_failure_is_recorded(self, tiny):
+        res = solve("bruteforce", tiny.scaled(1e-9))
+        assert not res.ok and "brute force" in res.failure
+
+    def test_ilp_unsupported_platform_is_a_recorded_failure(self, tiny):
+        """Off the mesh the ilp adapter fails like any other solver —
+        with the loud message intact — instead of aborting the whole
+        run/sweep; the direct exact/ entry point still raises."""
+        from repro.platform.topology import get_topology
+
+        torus = ProblemInstance(
+            tiny.spg, get_topology("torus", 2, 2), tiny.period
+        )
+        res = solve("ilp", torus)
+        assert not res.ok
+        assert res.failure.startswith("UnsupportedPlatform")
+        assert "mesh" in res.failure
+        hres = run("ilp", torus)
+        assert not hres.ok and "UnsupportedPlatform" in hres.failure
+
+    def test_sweep_survives_unsupported_exact_column(self, tiny):
+        from repro.experiments import run_scenario_sweep
+
+        report = run_scenario_sweep(
+            topologies=("mesh", "torus"), sizes=("2x2",), ccrs=(1.0,),
+            apps=("random-6",), replicates=1, seed=0,
+            solvers=("Greedy", "ilp"),
+        )
+        by_topo = {sc["topology"]: sc for sc in report["scenarios"]}
+        assert by_topo["torus"]["failures"]["ilp"] == 1
+        assert by_topo["torus"]["failures"]["Greedy"] == 0
+        assert by_topo["mesh"]["failures"]["ilp"] == 0
+
+    def test_ilp_and_bnb_match_direct_call(self, two_speed_model):
+        from repro.exact import ilp_optimal
+        from repro.spg.build import diamond
+
+        g = diamond((4e8, 2e8, 3e8, 1e8), (1e7, 2e7, 3e7, 4e7))
+        prob = ProblemInstance(g, CMPGrid(2, 2, two_speed_model), 0.6)
+        mapping, obj = ilp_optimal(prob)
+        for spec in ("ilp", "bnb"):
+            res = solve(spec, prob)
+            assert res.ok and res.solver == spec
+            assert res.mapping.alloc == mapping.alloc
+            assert res.stats["objective"] == pytest.approx(obj)
+
+
+# ----------------------------------------------------------------------
+# Portfolio determinism
+# ----------------------------------------------------------------------
+class TestPortfolio:
+    def test_winner_is_best_feasible_member(self, instance):
+        res = solve("portfolio", instance, rng=as_rng(5))
+        assert res.ok
+        members = res.stats["members"]
+        best = min(
+            (m["energy"] for m in members if m["ok"]), default=None
+        )
+        assert res.total_energy == best
+        assert res.stats["winner"] is not None
+
+    @pytest.mark.parametrize("jobs", [1, 2, 3])
+    def test_jobs_invariance(self, instance, jobs):
+        if jobs > 1 and not pool_available():  # pragma: no cover
+            pytest.skip("process pools unavailable in this environment")
+        baseline = get_solver("portfolio", jobs=1).solve(
+            instance, rng=as_rng(5)
+        )
+        res = get_solver("portfolio", jobs=jobs).solve(
+            instance, rng=as_rng(5)
+        )
+        assert repr(res.total_energy) == repr(baseline.total_energy)
+        assert res.stats["winner"] == baseline.stats["winner"]
+        assert res.mapping.alloc == baseline.mapping.alloc
+
+    def test_tie_breaks_toward_earliest_member(self, instance):
+        res = PortfolioSolver(["greedy", "greedy"]).solve(
+            instance, rng=as_rng(5)
+        )
+        assert res.ok
+        members = res.stats["members"]
+        assert members[0]["energy"] == members[1]["energy"]
+        assert res.stats["winner"] == "greedy"
+
+    def test_all_members_failing(self, instance):
+        res = solve("portfolio", instance.scaled(1e-9), rng=as_rng(0))
+        assert not res.ok
+        assert "every member failed" in res.failure
+        assert all(not m["ok"] for m in res.stats["members"])
+
+    def test_member_seeds_are_independent_draws(self, instance):
+        """Adding a member must not change earlier members' seeds."""
+        a = PortfolioSolver(["random"]).solve(instance, rng=as_rng(3))
+        b = PortfolioSolver(["random", "greedy"]).solve(
+            instance, rng=as_rng(3)
+        )
+        assert (
+            a.stats["members"][0]["energy"]
+            == b.stats["members"][0]["energy"]
+        )
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioSolver([])
+
+    def test_member_library_errors_become_member_failures(self, instance):
+        """A member failing loudly (ILP off the mesh) must not abort the
+        portfolio: the best-feasible-member contract wins."""
+        from repro.platform.topology import get_topology
+
+        torus = ProblemInstance(
+            instance.spg, get_topology("torus", 3, 3), instance.period
+        )
+        res = PortfolioSolver(["greedy", "ilp"]).solve(torus, rng=as_rng(0))
+        assert res.ok
+        assert res.stats["winner"] == "greedy"
+        ilp_member = res.stats["members"][1]
+        assert not ilp_member["ok"]
+        assert "UnsupportedPlatform" in ilp_member["failure"]
+
+    def test_configured_member_options_survive_dispatch(self, instance):
+        """Solver-object members keep their options; a worker must not
+        re-parse them back to defaults."""
+        pf = PortfolioSolver([get_solver("random", trials=1), "greedy"])
+        assert pf._solvers[0].options == {"trials": 1}
+        res = pf.solve(instance, rng=as_rng(3))
+        seed0 = int(as_rng(3).integers(0, 2**63 - 1))
+        direct = get_solver("random", trials=1).solve(
+            instance, rng=as_rng(seed0)
+        )
+        assert (
+            res.stats["members"][0]["energy"]
+            == (direct.total_energy if direct.ok else None)
+        )
+        if pool_available():  # pragma: no branch
+            pooled = PortfolioSolver(
+                [get_solver("random", trials=1), "greedy"], jobs=2
+            ).solve(instance, rng=as_rng(3))
+            assert (
+                pooled.stats["members"][0]["energy"]
+                == res.stats["members"][0]["energy"]
+            )
+
+    def test_invalid_member_rejected_at_construction(self):
+        with pytest.raises(KeyError):
+            PortfolioSolver(["greedy", "nope"])
+
+    def test_pipeline_over_portfolio(self, instance):
+        res = solve("portfolio+refine", instance, rng=as_rng(5))
+        base = solve("portfolio", instance, rng=as_rng(5))
+        assert res.ok
+        assert res.total_energy <= base.total_energy
+
+
+# ----------------------------------------------------------------------
+# Transform-stage contract and option plumbing
+# ----------------------------------------------------------------------
+class TestStageContract:
+    def test_refine_stage_requires_upstream(self, instance):
+        with pytest.raises(ValueError, match="upstream"):
+            RefineStage().solve(instance, rng=0)
+
+    def test_pipeline_short_circuits_on_failure(self, instance):
+        res = solve("greedy+refine", instance.scaled(1e-9), rng=as_rng(0))
+        assert not res.ok
+        assert [st["solver"] for st in res.stats["stages"]] == ["greedy"]
+
+    def test_stats_carry_timings(self, instance):
+        res = solve("dpa2d1d+refine", instance, rng=as_rng(0))
+        assert res.stats["seconds"] >= 0
+        assert all(st["seconds"] >= 0 for st in res.stats["stages"])
+
+
+class TestOptionPlumbing:
+    def test_merge_solver_options_untouched_without_refine(self):
+        assert merge_solver_options(None, ("A",), refine=False) is None
+
+    def test_merge_solver_options_applies_to_specs(self):
+        merged = merge_solver_options(
+            None, ("Greedy", "dpa1d"), refine=True,
+            refine_sweeps=2, refine_schedule="best",
+        )
+        assert merged["dpa1d"]["refine"] is True
+        assert merged["Greedy"]["refine_sweeps"] == 2
+        assert merged["Greedy"]["refine_schedule"] == "best"
+
+    def test_merge_skips_specs_with_refine_stage(self):
+        """--refine combined with a +refine spec must not refine twice."""
+        merged = merge_solver_options(
+            None, ("Greedy", "dpa2d1d+refine", "greedy|dpa1d+refine-best"),
+            refine=True,
+        )
+        assert merged["Greedy"]["refine"] is True
+        assert "dpa2d1d+refine" not in merged
+        assert "greedy|dpa1d+refine-best" not in merged
+        # Case-insensitive, like get_solver's key lookup.
+        assert "DPA2D1D+Refine" not in merge_solver_options(
+            None, ("DPA2D1D+Refine",), refine=True
+        )
+
+    def test_producer_options_forwarded_through_spec(self, instance):
+        res = solve("random", instance, rng=as_rng(1), trials=1)
+        assert res.ok or res.failure
+
+
+# ----------------------------------------------------------------------
+# Experiment runners on the solver axis
+# ----------------------------------------------------------------------
+class TestSolverAxisExperiments:
+    def test_random_experiment_solvers_axis_matches_refine_kwargs(self):
+        from repro.experiments import run_random_experiment
+
+        grid = CMPGrid(2, 2)
+        legacy = run_random_experiment(
+            12, grid, 1.0, elevations=(2,), replicates=1, seed=5,
+            heuristics=("DPA2D1D",), refine=True,
+        )
+        spec = run_random_experiment(
+            12, grid, 1.0, elevations=(2,), replicates=1, seed=5,
+            solvers=("dpa2d1d+refine",),
+        )
+        rec_a = legacy.records[2][0]
+        rec_b = spec.records[2][0]
+        assert rec_a.period == rec_b.period
+        ea = rec_a.results["DPA2D1D"].total_energy
+        eb = rec_b.results["dpa2d1d+refine"].total_energy
+        assert repr(ea) == repr(eb)
+
+    def test_scenario_sweep_solvers_axis(self):
+        from repro.experiments import run_scenario_sweep, sweep_summary
+
+        report = run_scenario_sweep(
+            topologies=("mesh",), sizes=("2x2",), ccrs=(1.0,),
+            apps=("random-12",), replicates=1, seed=0,
+            solvers=("Greedy", "dpa2d1d+refine"),
+        )
+        assert report["meta"]["solvers"] == ["Greedy", "dpa2d1d+refine"]
+        assert report["meta"]["solver_axis"] is True
+        sc = report["scenarios"][0]
+        assert set(sc["failures"]) == {"Greedy", "dpa2d1d+refine"}
+        assert "dpa2d1d+refine" in sweep_summary(report)
