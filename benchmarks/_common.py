@@ -14,6 +14,7 @@ in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -26,6 +27,9 @@ from repro.experiments.streamit_experiments import StreamItExperiment
 from repro.platform.cmp import CMPGrid
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The shared cross-benchmark report at the repository root.
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf_core.json"
 
 #: Benchmark-scale replication settings (paper values in parentheses).
 RANDOM_REPLICATES_50 = 3  # paper: 100 graphs per elevation point
@@ -75,4 +79,22 @@ def write_result(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    return path
+
+
+def merge_bench_sections(sections: dict, path: Path = BENCH_JSON) -> Path:
+    """Merge top-level ``sections`` into the shared benchmark report.
+
+    Every standalone benchmark script owns one (or a few) top-level keys
+    of ``BENCH_perf_core.json`` — ``bench_perf_core.py`` the perf-core
+    trio, ``bench_refine.py`` ``"refine"``, ``bench_portfolio.py``
+    ``"portfolio"``, ``bench_store.py`` ``"store"`` — and must preserve
+    the sibling sections when re-run.  This helper is that read-update-
+    write cycle, deduplicated out of the individual scripts.
+    """
+    merged = {}
+    if path.exists():
+        merged = json.loads(path.read_text())
+    merged.update(sections)
+    path.write_text(json.dumps(merged, indent=1, sort_keys=True))
     return path

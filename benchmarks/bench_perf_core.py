@@ -29,9 +29,9 @@ import sys
 import time
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
+from _common import merge_bench_sections
+
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline_perf_core.json"
-OUT_PATH = ROOT / "BENCH_perf_core.json"
 
 
 def bench_eval_core(baseline: dict) -> dict:
@@ -207,15 +207,9 @@ def main(argv=None) -> int:
     results["all_outputs_equal_to_seed"] = ok
     # Merge over the existing report so sibling benchmarks' sections
     # (e.g. bench_refine.py's "refine" key) survive a re-run.
-    merged = {}
-    if OUT_PATH.exists():
-        with open(OUT_PATH) as fh:
-            merged = json.load(fh)
-    merged.update(results)
-    with open(OUT_PATH, "w") as fh:
-        json.dump(merged, fh, indent=1, sort_keys=True)
+    out_path = merge_bench_sections(results)
     print(json.dumps(results, indent=1, sort_keys=True))
-    print(f"\nwritten to {OUT_PATH}")
+    print(f"\nwritten to {out_path}")
     if not ok:
         print("ERROR: outputs diverged from the seed implementation",
               file=sys.stderr)

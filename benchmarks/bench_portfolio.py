@@ -10,8 +10,7 @@ value, plus the ``dpa2d1d+refine`` pipeline for reference, asserts that
 the portfolio winner and its energy are **identical for every jobs
 value**, and merges a ``"portfolio"`` section into
 ``BENCH_perf_core.json`` at the repository root without clobbering the
-sibling sections (``eval_core``, ``dpa2d``, ``fig10_panel``,
-``refine``).
+sibling sections (via :func:`_common.merge_bench_sections`).
 """
 
 from __future__ import annotations
@@ -20,10 +19,8 @@ import argparse
 import json
 import sys
 import time
-from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
-OUT_PATH = ROOT / "BENCH_perf_core.json"
+from _common import merge_bench_sections
 
 #: Fixed workload: one Figure-10-style instance, benchmark replicates.
 N, GRID, CCR, SEED = 50, (4, 4), 10.0, 2011
@@ -105,15 +102,9 @@ def main(argv=None) -> int:
     ok = all(r["outputs_equal"] for r in section["runs"].values())
     section["jobs_invariant"] = ok
 
-    merged = {}
-    if OUT_PATH.exists():
-        with open(OUT_PATH) as fh:
-            merged = json.load(fh)
-    merged["portfolio"] = section
-    with open(OUT_PATH, "w") as fh:
-        json.dump(merged, fh, indent=1, sort_keys=True)
+    out_path = merge_bench_sections({"portfolio": section})
     print(json.dumps(section, indent=1, sort_keys=True))
-    print(f"\nmerged into {OUT_PATH}")
+    print(f"\nmerged into {out_path}")
     if not ok:
         print("ERROR: portfolio results diverged across jobs values",
               file=sys.stderr)

@@ -26,10 +26,8 @@ import argparse
 import json
 import sys
 import time
-from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
-OUT_PATH = ROOT / "BENCH_perf_core.json"
+from _common import merge_bench_sections
 
 #: (label, n stages, grid p, grid q, sweeps)
 WORKLOADS = (
@@ -135,16 +133,10 @@ def main(argv=None) -> int:
     )
     results["all_outputs_identical"] = ok
 
-    merged = {}
-    if OUT_PATH.exists():
-        with open(OUT_PATH) as fh:
-            merged = json.load(fh)
-    merged["refine"] = results
-    with open(OUT_PATH, "w") as fh:
-        json.dump(merged, fh, indent=1, sort_keys=True)
+    out_path = merge_bench_sections({"refine": results})
 
     print(json.dumps(results, indent=1, sort_keys=True))
-    print(f"\nmerged into {OUT_PATH} under 'refine'")
+    print(f"\nmerged into {out_path} under 'refine'")
     if not ok:
         print("ERROR: delta engine diverged from the rebuild reference",
               file=sys.stderr)

@@ -66,6 +66,10 @@ from repro.solvers import (
     solve,
     solver_names,
 )
+from repro.store import (
+    open_store,
+    serve_batch,
+)
 from repro.spg import (
     SPG,
     STREAMIT_TABLE1,
@@ -145,4 +149,7 @@ __all__ = [
     "run_random_experiment",
     "CCR_SETTINGS",
     "DEFAULT_ELEVATIONS",
+    # store
+    "open_store",
+    "serve_batch",
 ]

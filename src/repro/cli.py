@@ -26,11 +26,24 @@ Subcommands
 ``sweep``
     Fan a {topology, size, CCR, app} cross-product over the parallel
     engine and emit a consolidated JSON report; ``--solvers`` adds the
-    strategy axis.
+    strategy axis.  ``--store``/``--resume``/``--shard i/N`` make the
+    sweep incremental through the content-addressed result store:
+    completed cells are skipped, shards deterministically partition the
+    cell grid, and a final ``--resume`` pass merges one shared store
+    into a report bit-identical to a cold single-process run.
+``store``
+    Inspect or maintain a result store: ``stats`` (entry counts),
+    ``gc`` (purge stale-schema entries, one kind, or everything),
+    ``export`` (deterministic JSON snapshot).
+``serve``
+    Batch mapping service: answer a JSON file of solver requests
+    through the store — cache hit -> stored result, miss -> compute
+    over the parallel engine and store.
 
 ``map``, ``solve``, ``compare``, ``experiment`` and ``sweep`` accept
 ``--topology`` (default ``mesh``, the paper's platform); ``repro
-platform list`` shows the alternatives.
+platform list`` shows the alternatives.  ``repro --version`` prints the
+package version recorded in sweep/store/service metadata.
 """
 
 from __future__ import annotations
@@ -52,6 +65,7 @@ from repro.experiments import (
     run_streamit_experiment,
     streamit_csv,
     sweep_summary,
+    write_report,
 )
 from repro.heuristics.base import PAPER_ORDER, run
 from repro.platform.topology import TOPOLOGIES, get_topology, topology_names
@@ -64,6 +78,7 @@ from repro.solvers import (
 from repro.spg.random_gen import random_spg
 from repro.spg.streamit import STREAMIT_TABLE1, streamit_workflow
 from repro.util.fmt import format_table
+from repro.util.version import repro_version
 
 __all__ = ["main", "build_parser"]
 
@@ -100,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Energy-aware SPG-onto-CMP mapping (ICPP 2011 repro)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -246,6 +264,53 @@ def build_parser() -> argparse.ArgumentParser:
                            "identical for any value)")
     p_sw.add_argument("--out", metavar="PATH", default=None,
                       help="write the consolidated JSON report here")
+    p_sw.add_argument("--store", metavar="PATH", default=None,
+                      help="result store (SQLite path, or ':memory:'); "
+                           "every completed cell is filed under its "
+                           "content fingerprint")
+    p_sw.add_argument("--resume", action="store_true",
+                      help="skip cells already present in --store and "
+                           "rebuild their results from stored payloads")
+    p_sw.add_argument("--shard", metavar="i/N", default=None,
+                      help="process only cells with grid index i mod N "
+                           "(0-based); shards 0/N..N-1/N cover the grid "
+                           "exactly once into one shared store")
+    p_sw.add_argument("--limit", type=int, default=None, metavar="K",
+                      help="stop after K cells (a deterministic mid-grid "
+                           "interruption, for testing resumption)")
+    p_sw.add_argument("--checkpoint", type=int, default=None, metavar="N",
+                      help="file computed cells into --store every N "
+                           "cells (default: once at the end)")
+
+    p_st = sub.add_parser(
+        "store", help="inspect or maintain a result store"
+    )
+    p_st.add_argument("action", choices=["stats", "gc", "export"])
+    p_st.add_argument("--store", metavar="PATH", required=True,
+                      help="the store to operate on (SQLite path)")
+    p_st.add_argument("--kind", default=None,
+                      help="gc: purge every entry of this kind (e.g. "
+                           "sweep-cell, solve), current schema included")
+    p_st.add_argument("--all", action="store_true", dest="drop_all",
+                      help="gc: purge everything")
+    p_st.add_argument("--out", metavar="PATH", default=None,
+                      help="export: write the JSON snapshot here "
+                           "(default: stdout)")
+
+    p_srv = sub.add_parser(
+        "serve", help="batch mapping service over the result store"
+    )
+    p_srv.add_argument("--batch", metavar="PATH", required=True,
+                       help="JSON requests file (a list, or "
+                            "{requests: [...]})")
+    p_srv.add_argument("--store", metavar="PATH", default=None,
+                       help="result store backing the service (default: "
+                            "in-memory, nothing persists)")
+    p_srv.add_argument("--out", metavar="PATH", default=None,
+                       help="write the JSON response document here")
+    p_srv.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for cache misses (0 = all "
+                            "CPUs; responses are identical for any value)")
     return parser
 
 
@@ -477,24 +542,87 @@ def cmd_sweep(args, out) -> int:
     for spec in args.solvers or ():
         if _parse_spec_or_report(spec, out) is None:
             return 2
-    report = run_scenario_sweep(
-        topologies=args.topologies,
-        sizes=args.sizes,
-        ccrs=args.ccr,
-        apps=args.apps,
-        replicates=args.replicates,
-        seed=args.seed,
-        jobs=args.jobs,
-        refine=args.refine,
-        refine_sweeps=args.refine_sweeps,
-        refine_schedule=args.refine_schedule,
-        solvers=args.solvers,
-    )
+    if args.resume and args.store is None:
+        print("--resume requires --store", file=out)
+        return 2
+    try:
+        report = run_scenario_sweep(
+            topologies=args.topologies,
+            sizes=args.sizes,
+            ccrs=args.ccr,
+            apps=args.apps,
+            replicates=args.replicates,
+            seed=args.seed,
+            jobs=args.jobs,
+            refine=args.refine,
+            refine_sweeps=args.refine_sweeps,
+            refine_schedule=args.refine_schedule,
+            solvers=args.solvers,
+            store=args.store,
+            resume=args.resume,
+            shard=args.shard,
+            limit=args.limit,
+            checkpoint=args.checkpoint,
+        )
+    except ValueError as exc:
+        print(str(exc.args[0] if exc.args else exc), file=out)
+        return 2
     print(sweep_summary(report), file=out)
     if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(report, fh, indent=1, sort_keys=True)
+        write_report(args.out, report)
         print(f"JSON report written to {args.out}", file=out)
+    return 0
+
+
+def cmd_store(args, out) -> int:
+    from repro.store import open_store
+
+    store = open_store(args.store)
+    try:
+        if args.action == "stats":
+            print(json.dumps(store.stats(), indent=1, sort_keys=True),
+                  file=out)
+            return 0
+        if args.action == "gc":
+            removed = store.gc(kind=args.kind, drop_all=args.drop_all)
+            what = (
+                "all entries" if args.drop_all
+                else f"kind {args.kind!r}" if args.kind
+                else "stale-schema entries"
+            )
+            print(f"gc removed {removed} entries ({what}); "
+                  f"{len(store)} remain", file=out)
+            return 0
+        snapshot = json.dumps(store.export(), indent=1, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(snapshot + "\n")
+            print(f"store exported to {args.out}", file=out)
+        else:
+            print(snapshot, file=out)
+        return 0
+    finally:
+        store.close()
+
+
+def cmd_serve(args, out) -> int:
+    from repro.store import load_requests, open_store, serve_batch
+    from repro.store.service import serve_summary
+
+    try:
+        requests = load_requests(args.batch)
+    except (OSError, ValueError, TypeError, json.JSONDecodeError) as exc:
+        print(f"bad requests file: {exc}", file=out)
+        return 2
+    store = open_store(args.store)
+    try:
+        report = serve_batch(requests, store=store, jobs=args.jobs)
+    finally:
+        store.close()
+    print(serve_summary(report), file=out)
+    if args.out:
+        write_report(args.out, report)
+        print(f"responses written to {args.out}", file=out)
     return 0
 
 
@@ -516,6 +644,10 @@ def main(argv=None, out=sys.stdout) -> int:
         return cmd_experiment(args, out)
     if args.command == "sweep":
         return cmd_sweep(args, out)
+    if args.command == "store":
+        return cmd_store(args, out)
+    if args.command == "serve":
+        return cmd_serve(args, out)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -22,14 +22,18 @@ from repro.experiments.parallel import resolve_jobs, run_tasks
 from repro.experiments.scenarios import (
     ScenarioSpec,
     build_scenarios,
+    parse_shard,
     run_scenario_sweep,
     sweep_summary,
 )
 from repro.experiments.report import (
+    REPORT_SCHEMA_VERSION,
     random_csv,
     random_markdown,
+    report_json,
     streamit_csv,
     streamit_markdown,
+    write_report,
 )
 
 __all__ = [
@@ -55,6 +59,10 @@ __all__ = [
     "run_tasks",
     "ScenarioSpec",
     "build_scenarios",
+    "parse_shard",
     "run_scenario_sweep",
     "sweep_summary",
+    "REPORT_SCHEMA_VERSION",
+    "report_json",
+    "write_report",
 ]

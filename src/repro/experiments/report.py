@@ -1,26 +1,67 @@
-"""Export experiment results as CSV or Markdown.
+"""Export experiment results as CSV, Markdown or canonical JSON.
 
 The benchmarks render ASCII tables for the terminal; this module provides
 machine-readable exports so downstream analysis (plotting the figures,
 diffing against the paper) does not have to re-run the sweeps.
+
+JSON reports are written in **canonical form** — sorted keys, a
+``schema_version`` and the library version stamped into ``meta``, a
+trailing newline — so that two identical runs produce byte-identical
+files.  That byte-level determinism is what the result store's
+resume/shard machinery is verified against (an interrupted-and-resumed
+sweep must reproduce the cold run's report exactly), and it makes report
+files content-addressable and diff-friendly.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
+from pathlib import Path
 
 from repro.experiments.random_experiments import RandomExperiment
 from repro.experiments.runner import normalized_energy
 from repro.experiments.streamit_experiments import StreamItExperiment
 from repro.spg.streamit import STREAMIT_TABLE1
+from repro.util.version import repro_version
 
 __all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "report_json",
+    "write_report",
     "streamit_csv",
     "random_csv",
     "streamit_markdown",
     "random_markdown",
 ]
+
+#: Version of the consolidated JSON report layout; bump on any structural
+#: change so report consumers (and stored reports) can detect skew.
+REPORT_SCHEMA_VERSION = 1
+
+
+def report_json(report: dict) -> str:
+    """The canonical byte-exact serialisation of a JSON-able report.
+
+    ``meta.schema_version`` and ``meta.repro_version`` are stamped in
+    when absent (report producers such as the scenario sweep set them
+    already); keys are sorted recursively and floats use Python's exact
+    shortest-repr formatting, so equal reports serialise to equal bytes.
+    """
+    out = dict(report)
+    meta = dict(out.get("meta") or {})
+    meta.setdefault("schema_version", REPORT_SCHEMA_VERSION)
+    meta.setdefault("repro_version", repro_version())
+    out["meta"] = meta
+    return json.dumps(out, indent=1, sort_keys=True) + "\n"
+
+
+def write_report(path: "str | Path", report: dict) -> Path:
+    """Write ``report`` to ``path`` in canonical form (see above)."""
+    path = Path(path)
+    path.write_text(report_json(report))
+    return path
 
 
 def streamit_csv(exp: StreamItExperiment) -> str:

@@ -17,9 +17,18 @@ serially in the parent in a fixed order, then executed through
 :func:`repro.experiments.parallel.run_tasks` — results are bit-identical
 for any ``jobs`` value, exactly as in the figure sweeps.
 
+Sweeps are **resumable and shardable** through the content-addressed
+result store (``repro/store/``): ``store=`` files every completed cell
+under its fingerprint, ``resume=True`` skips cells already present, and
+``shard="i/N"`` deterministically partitions the cell grid so
+independent invocations (or machines) fill one shared store; a final
+``resume`` pass over the full grid emits a consolidated report
+bit-identical to a cold single-process run.
+
 CLI: ``repro sweep --topologies mesh torus benes --sizes 3x3 4x4
 --ccr 1 10 --apps random-20 FMRadio --solvers Greedy dpa2d1d+refine
---replicates 2 --jobs 0 --out r.json``.
+--replicates 2 --jobs 0 --out r.json`` plus ``--store sweep.sqlite
+--resume --shard 0/4 --limit K --checkpoint N``.
 """
 
 from __future__ import annotations
@@ -28,12 +37,14 @@ from dataclasses import dataclass
 
 from repro.experiments.parallel import random_panel_task, run_tasks
 from repro.experiments.period import PeriodChoice
+from repro.experiments.report import REPORT_SCHEMA_VERSION
 from repro.heuristics.base import PAPER_ORDER
 from repro.solvers.options import merge_solver_options
 from repro.platform.topology import Topology, get_topology
 from repro.spg.random_gen import random_spg
 from repro.util.fmt import format_table
 from repro.util.rng import as_rng
+from repro.util.version import repro_version
 
 __all__ = [
     "ScenarioSpec",
@@ -41,6 +52,7 @@ __all__ = [
     "run_scenario_sweep",
     "sweep_summary",
     "parse_size",
+    "parse_shard",
 ]
 
 #: Default axes for a small but representative sweep.
@@ -118,6 +130,28 @@ def build_scenarios(
     return out
 
 
+def parse_shard(spec: "str | tuple[int, int] | None") -> tuple[int, int] | None:
+    """Parse a shard spec ``"i/N"`` (0-based) into ``(i, N)``.
+
+    Tuples pass through (validated); ``None`` means no sharding.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, tuple):
+        i, n = spec
+    else:
+        try:
+            i, n = str(spec).split("/")
+        except ValueError:
+            raise ValueError(
+                f"shard must look like 'i/N' (0-based), got {spec!r}"
+            ) from None
+    i, n = int(i), int(n)
+    if n < 1 or not 0 <= i < n:
+        raise ValueError(f"shard needs 0 <= i < N, got {i}/{n}")
+    return i, n
+
+
 def _snap_choice(
     choice: PeriodChoice, heuristics: tuple[str, ...]
 ) -> tuple[dict, dict[str, bool]]:
@@ -171,6 +205,11 @@ def run_scenario_sweep(
     refine_sweeps: int = 4,
     refine_schedule: str = "first",
     solvers=None,
+    store=None,
+    resume: bool = False,
+    shard: "str | tuple[int, int] | None" = None,
+    limit: int | None = None,
+    checkpoint: int | None = None,
 ) -> dict:
     """Run the sweep and return the consolidated JSON-serialisable report.
 
@@ -188,7 +227,41 @@ def run_scenario_sweep(
     delta-evaluated local search; ``refine_sweeps``/``refine_schedule``
     select its budget and acceptance rule.  Refined mappings pass the
     same structural re-checks as raw solver outputs.
+
+    Result-store integration (``repro/store/``):
+
+    ``store``
+        A :class:`~repro.store.ResultStore`, a SQLite path, or ``None``
+        (compute everything, keep nothing).  With a store, every
+        computed cell is filed under its content fingerprint.
+    ``resume``
+        Skip cells whose fingerprint is already in the store and rebuild
+        their results from the stored payloads.  A resumed sweep's
+        report is **bit-identical** to a cold single-process run.
+    ``shard``
+        ``"i/N"`` (0-based): process only cells whose grid index is
+        ``i mod N``.  The partition is over the deterministic cell order,
+        so N invocations with shards ``0/N .. N-1/N`` cover the grid
+        exactly once; a final ``resume`` pass (no shard) merges the
+        shared store into the consolidated report.
+    ``limit``
+        Stop after this many cells (of the shard selection) — an
+        interruption at a deterministic cell boundary, used to test and
+        demonstrate resumption.
+    ``checkpoint``
+        Compute cache misses in batches of this many cells, filing each
+        batch before starting the next (bounds how much work a killed
+        sweep can lose).  ``None`` = one batch.
+
+    Instance generation and seed pre-draws always cover the *full* grid
+    in sweep order regardless of shard/resume/limit, so every cell's
+    inputs — and therefore its fingerprint and its results — are
+    independent of how the grid was partitioned across invocations.
     """
+    from repro.store.backend import open_store
+    from repro.store.fingerprint import cell_fingerprint
+    from repro.store.serialize import choice_from_payload, choice_to_payload
+
     rng = as_rng(seed)
     heuristics = tuple(solvers) if solvers else tuple(heuristics)
     options = merge_solver_options(
@@ -206,7 +279,63 @@ def run_scenario_sweep(
             hseed = int(rng.integers(0, 2**63 - 1))
             tasks.append((spg, platform, heuristics, hseed, options))
             task_meta.append((s_idx, f"{spec.label()}/rep{rep}"))
-    choices = run_tasks(random_panel_task, tasks, jobs=jobs)
+
+    shard_part = parse_shard(shard)
+    selected = list(range(len(tasks)))
+    if shard_part is not None:
+        i, n_shards = shard_part
+        selected = [idx for idx in selected if idx % n_shards == i]
+    if limit is not None:
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        selected = selected[:limit]
+
+    if resume and store is None:
+        raise ValueError("resume=True requires a store")
+    from repro.store.backend import ResultStore
+
+    # Close only connections this call opened; a live ResultStore passed
+    # in stays under the caller's lifecycle.
+    own_store = store is not None and not isinstance(store, ResultStore)
+    store = open_store(store) if store is not None else None
+
+    choices_by_idx: dict[int, PeriodChoice] = {}
+    try:
+        if store is None:
+            results = run_tasks(
+                random_panel_task, [tasks[i] for i in selected], jobs=jobs
+            )
+            choices_by_idx = dict(zip(selected, results))
+        else:
+            keys: dict[int, str] = {}
+            misses: list[int] = []
+            for idx in selected:
+                spg, platform, _h, hseed, _o = tasks[idx]
+                keys[idx] = cell_fingerprint(
+                    spg, platform, heuristics, hseed, options
+                )
+                payload = store.get(keys[idx]) if resume else None
+                if payload is not None:
+                    choices_by_idx[idx] = choice_from_payload(
+                        payload, spg, platform, order=heuristics
+                    )
+                else:
+                    misses.append(idx)
+            batch = len(misses) if not checkpoint else max(1, checkpoint)
+            for lo in range(0, len(misses), max(1, batch)):
+                chunk = misses[lo : lo + max(1, batch)]
+                results = run_tasks(
+                    random_panel_task, [tasks[i] for i in chunk], jobs=jobs
+                )
+                for idx, choice in zip(chunk, results):
+                    store.put(
+                        keys[idx], choice_to_payload(choice),
+                        kind="sweep-cell",
+                    )
+                    choices_by_idx[idx] = choice
+    finally:
+        if own_store:
+            store.close()
 
     per_scenario: list[dict] = []
     for s_idx, spec in enumerate(scenarios):
@@ -222,8 +351,9 @@ def run_scenario_sweep(
             "failures": {h: 0 for h in heuristics},
             "instances": 0,
         })
-    for (s_idx, label), choice in zip(task_meta, choices):
-        record, ok_flags = _snap_choice(choice, heuristics)
+    for idx in selected:
+        s_idx, label = task_meta[idx]
+        record, ok_flags = _snap_choice(choices_by_idx[idx], heuristics)
         record["label"] = label
         entry = per_scenario[s_idx]
         entry["records"].append(record)
@@ -231,25 +361,34 @@ def run_scenario_sweep(
         for h, ok in ok_flags.items():
             if not ok:
                 entry["failures"][h] += 1
-    return {
-        "meta": {
-            "seed": seed,
-            "replicates": replicates,
-            # "solvers" names the actual sweep columns; "heuristics" is
-            # retained for pre-solver-axis report consumers and holds
-            # the same list.  "solver_axis" records whether the columns
-            # came from an explicit solvers= request (specs) or the
-            # default heuristic set.
-            "heuristics": list(heuristics),
-            "solvers": list(heuristics),
-            "solver_axis": solvers is not None,
-            "scenario_count": len(scenarios),
-            "instance_count": len(tasks),
-            "refine": bool(refine),
-            "refine_schedule": refine_schedule if refine else None,
-        },
-        "scenarios": per_scenario,
+    meta = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "repro_version": repro_version(),
+        "seed": seed,
+        "replicates": replicates,
+        # "solvers" names the actual sweep columns; "heuristics" is
+        # retained for pre-solver-axis report consumers and holds
+        # the same list.  "solver_axis" records whether the columns
+        # came from an explicit solvers= request (specs) or the
+        # default heuristic set.
+        "heuristics": list(heuristics),
+        "solvers": list(heuristics),
+        "solver_axis": solvers is not None,
+        "scenario_count": len(scenarios),
+        "instance_count": len(tasks),
+        "processed_instances": len(selected),
+        "refine": bool(refine),
+        "refine_schedule": refine_schedule if refine else None,
     }
+    # Shard/limit are stamped only when they actually restricted the
+    # grid: a full resumed (merge) pass must serialise byte-identically
+    # to a cold single-process run, so its meta cannot mention the
+    # store-side mechanics that produced it.
+    if shard_part is not None:
+        meta["shard"] = f"{shard_part[0]}/{shard_part[1]}"
+    if limit is not None:
+        meta["limit"] = limit
+    return {"meta": meta, "scenarios": per_scenario}
 
 
 def sweep_summary(report: dict) -> str:
@@ -274,13 +413,20 @@ def sweep_summary(report: dict) -> str:
             routes,
         ])
     refined = " [refined]" if report["meta"].get("refine") else ""
+    total = meta["instance_count"]
+    processed = meta.get("processed_instances", total)
+    count = (
+        f"{total} instances" if processed == total
+        else f"{processed}/{total} instances"
+    )
+    shard = f" [shard {meta['shard']}]" if meta.get("shard") else ""
     return format_table(
         ["topology", "size", "cores", "ccr", "app", *heuristics, "routes"],
         rows,
         title=(
-            f"Scenario sweep{refined}: "
+            f"Scenario sweep{refined}{shard}: "
             f"{report['meta']['scenario_count']} scenarios, "
-            f"{report['meta']['instance_count']} instances "
+            f"{count} "
             f"(successes per heuristic; * = heterogeneous speeds)"
         ),
     )

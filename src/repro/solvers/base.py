@@ -77,6 +77,24 @@ class SolverResult:
         """Total energy, or +inf for failures (for min/normalisation)."""
         return self.energy.total if self.energy is not None else float("inf")
 
+    # -- serialization (the result-store contract) ---------------------
+    def to_payload(self) -> dict:
+        """A plain-JSON payload that round-trips this result losslessly.
+
+        The payload does not repeat the SPG/platform (the store key
+        already pins them); :meth:`from_payload` takes them as context.
+        """
+        from repro.store.serialize import result_to_payload
+
+        return result_to_payload(self)
+
+    @staticmethod
+    def from_payload(payload: dict, spg, grid) -> "SolverResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        from repro.store.serialize import solver_result_from_payload
+
+        return solver_result_from_payload(payload, spg, grid)
+
 
 class Solver(ABC):
     """One mapping strategy (see the module docstring).

@@ -1,0 +1,294 @@
+"""Persistent, content-addressed result stores.
+
+A :class:`ResultStore` files JSON payloads (see
+:mod:`repro.store.serialize`) under content-addressed fingerprints (see
+:mod:`repro.store.fingerprint`).  Two backends:
+
+* :class:`MemoryStore` — a process-local dict, for tests and the batch
+  service's store-less mode;
+* :class:`SQLiteStore` — one SQLite file in WAL mode, committing every
+  ``put`` so an interrupted sweep loses at most the in-flight batch,
+  and tolerating concurrent writers (independent shard invocations
+  filling one store file).
+
+Every row records the payload schema version and the library version
+that wrote it, so ``repro store gc`` can purge entries an older (or
+newer) payload layout left behind, and ``stats``/``export`` can audit a
+store without deserialising results.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.store.serialize import PAYLOAD_SCHEMA_VERSION
+from repro.util.version import repro_version
+
+__all__ = [
+    "ResultStore",
+    "MemoryStore",
+    "SQLiteStore",
+    "open_store",
+]
+
+
+class ResultStore(ABC):
+    """Keyed payload storage with schema-version bookkeeping."""
+
+    #: Human-readable location (``":memory:"`` or a file path).
+    location: str = ":memory:"
+
+    # -- required primitives -------------------------------------------
+    @abstractmethod
+    def get(self, key: str) -> dict | None:
+        """The payload filed under ``key``, or ``None``."""
+
+    @abstractmethod
+    def put(self, key: str, payload: dict, kind: str = "result") -> None:
+        """File ``payload`` under ``key`` (replacing any previous entry).
+
+        The row's schema version is read from ``payload["schema"]``
+        (defaulting to the current :data:`PAYLOAD_SCHEMA_VERSION`).
+        """
+
+    @abstractmethod
+    def delete(self, keys: Iterable[str]) -> int:
+        """Remove the given keys; returns how many existed."""
+
+    @abstractmethod
+    def rows(self, with_payload: bool = True) -> Iterator[dict]:
+        """All rows as ``{key, kind, schema, version, payload}`` dicts,
+        in sorted key order (deterministic for export/diffing).
+
+        ``with_payload=False`` yields ``payload`` as ``None`` without
+        deserialising it — sweep-cell payloads are multi-KB, and the
+        metadata-only consumers (stats, gc, keys) should not pay to
+        parse every stored result just to count or select rows.
+        """
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op by default)."""
+
+    # -- derived conveniences ------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> list[str]:
+        return [row["key"] for row in self.rows(with_payload=False)]
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def stats(self) -> dict:
+        """Entry counts by kind and schema version, plus staleness."""
+        by_kind: dict[str, int] = {}
+        by_schema: dict[str, int] = {}
+        stale = 0
+        total = 0
+        for row in self.rows(with_payload=False):
+            total += 1
+            by_kind[row["kind"]] = by_kind.get(row["kind"], 0) + 1
+            s = str(row["schema"])
+            by_schema[s] = by_schema.get(s, 0) + 1
+            if row["schema"] != PAYLOAD_SCHEMA_VERSION:
+                stale += 1
+        return {
+            "location": self.location,
+            "entries": total,
+            "by_kind": by_kind,
+            "by_schema": by_schema,
+            "stale": stale,
+            "current_schema": PAYLOAD_SCHEMA_VERSION,
+        }
+
+    def gc(self, kind: str | None = None, drop_all: bool = False) -> int:
+        """Purge entries; returns how many were removed.
+
+        Default: entries whose payload schema version is not current
+        (left behind by older/newer code).  ``kind`` restricts the purge
+        to that kind *and* removes current-schema entries of it too
+        (explicitly invalidating a class of results); ``drop_all``
+        empties the store.
+        """
+        doomed = [
+            row["key"]
+            for row in self.rows(with_payload=False)
+            if drop_all
+            or (kind is not None and row["kind"] == kind)
+            or (kind is None and row["schema"] != PAYLOAD_SCHEMA_VERSION)
+        ]
+        return self.delete(doomed)
+
+    def export(self) -> dict:
+        """A deterministic JSON snapshot of the whole store.
+
+        Write timestamps are excluded so two stores holding the same
+        results export byte-identically regardless of fill order (e.g.
+        one filled serially vs. one merged from shards).
+        """
+        return {
+            "meta": {
+                "schema_version": PAYLOAD_SCHEMA_VERSION,
+                "repro_version": repro_version(),
+                "entries": len(self),
+            },
+            "entries": {
+                row["key"]: {
+                    "kind": row["kind"],
+                    "schema": row["schema"],
+                    "version": row["version"],
+                    "payload": row["payload"],
+                }
+                for row in self.rows()
+            },
+        }
+
+
+class MemoryStore(ResultStore):
+    """An in-process store (payloads are deep-copied via JSON on both
+    ends, so callers cannot mutate stored state by aliasing)."""
+
+    def __init__(self) -> None:
+        self._rows: dict[str, dict] = {}
+        self.location = ":memory:"
+
+    def get(self, key: str) -> dict | None:
+        row = self._rows.get(key)
+        return None if row is None else json.loads(row["payload"])
+
+    def put(self, key: str, payload: dict, kind: str = "result") -> None:
+        self._rows[key] = {
+            "kind": kind,
+            "schema": int(payload.get("schema", PAYLOAD_SCHEMA_VERSION)),
+            "version": repro_version(),
+            "payload": json.dumps(payload, sort_keys=True),
+        }
+
+    def delete(self, keys: Iterable[str]) -> int:
+        n = 0
+        for key in list(keys):
+            if self._rows.pop(key, None) is not None:
+                n += 1
+        return n
+
+    def rows(self, with_payload: bool = True) -> Iterator[dict]:
+        for key in sorted(self._rows):
+            row = self._rows[key]
+            yield {
+                "key": key,
+                "kind": row["kind"],
+                "schema": row["schema"],
+                "version": row["version"],
+                "payload": (
+                    json.loads(row["payload"]) if with_payload else None
+                ),
+            }
+
+
+class SQLiteStore(ResultStore):
+    """One SQLite database file holding all results.
+
+    WAL journalling plus a generous busy timeout let independent shard
+    invocations write into the same file; each ``put`` commits, so a
+    killed sweep keeps everything stored up to the last completed batch.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self.location = str(self.path)
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS results (
+                key TEXT PRIMARY KEY,
+                kind TEXT NOT NULL,
+                schema INTEGER NOT NULL,
+                version TEXT NOT NULL,
+                created_at REAL NOT NULL,
+                payload TEXT NOT NULL
+            )
+            """
+        )
+        self._conn.commit()
+
+    def get(self, key: str) -> dict | None:
+        cur = self._conn.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        )
+        row = cur.fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def put(self, key: str, payload: dict, kind: str = "result") -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results "
+            "(key, kind, schema, version, created_at, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                kind,
+                int(payload.get("schema", PAYLOAD_SCHEMA_VERSION)),
+                repro_version(),
+                time.time(),
+                json.dumps(payload, sort_keys=True),
+            ),
+        )
+        self._conn.commit()
+
+    def delete(self, keys: Iterable[str]) -> int:
+        keys = list(keys)
+        n = 0
+        for key in keys:
+            cur = self._conn.execute(
+                "DELETE FROM results WHERE key = ?", (key,)
+            )
+            n += cur.rowcount
+        self._conn.commit()
+        return n
+
+    def rows(self, with_payload: bool = True) -> Iterator[dict]:
+        payload_col = "payload" if with_payload else "NULL"
+        cur = self._conn.execute(
+            f"SELECT key, kind, schema, version, {payload_col} "
+            "FROM results ORDER BY key"
+        )
+        for key, kind, schema, version, payload in cur:
+            yield {
+                "key": key,
+                "kind": kind,
+                "schema": schema,
+                "version": version,
+                "payload": json.loads(payload) if with_payload else None,
+            }
+
+    def __len__(self) -> int:
+        cur = self._conn.execute("SELECT COUNT(*) FROM results")
+        return int(cur.fetchone()[0])
+
+    def __contains__(self, key: str) -> bool:
+        cur = self._conn.execute(
+            "SELECT 1 FROM results WHERE key = ?", (key,)
+        )
+        return cur.fetchone() is not None
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def open_store(spec: "str | Path | ResultStore | None") -> ResultStore:
+    """Coerce a CLI/API store argument into a :class:`ResultStore`.
+
+    ``None`` and ``":memory:"`` build a fresh :class:`MemoryStore`;
+    an existing store instance passes through; anything else is a
+    SQLite file path (created on first use).
+    """
+    if isinstance(spec, ResultStore):
+        return spec
+    if spec is None or spec == ":memory:":
+        return MemoryStore()
+    return SQLiteStore(spec)

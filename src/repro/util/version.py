@@ -1,0 +1,25 @@
+"""Single source of the package version string.
+
+``repro --version`` and every persistent artefact (sweep reports, batch
+service responses, result-store rows) record the same version so that a
+store can be audited for entries written by older code.  The version is
+read from the installed package metadata when available (``pip install
+-e .``) and falls back to ``repro.__version__`` for plain
+``PYTHONPATH=src`` checkouts.
+"""
+
+from __future__ import annotations
+
+from importlib import metadata
+
+__all__ = ["repro_version"]
+
+
+def repro_version() -> str:
+    """The package version, from metadata or the in-tree fallback."""
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        import repro
+
+        return repro.__version__

@@ -195,3 +195,164 @@ class TestSweepSolvers:
         )
         assert code == 2
         assert "unknown solver" in text
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        from repro.util.version import repro_version
+
+        assert f"repro {repro_version()}" in capsys.readouterr().out
+
+
+def sweep_args(*extra):
+    return (
+        "sweep", "--topologies", "mesh", "--sizes", "2x2",
+        "--ccr", "1.0", "--apps", "random-8", "--replicates", "2",
+        "--seed", "3", *extra,
+    )
+
+
+class TestSweepStore:
+    def test_interrupt_resume_merge_matches_cold(self, tmp_path):
+        db = str(tmp_path / "cells.sqlite")
+        cold_path = tmp_path / "cold.json"
+        part_path = tmp_path / "part.json"
+        full_path = tmp_path / "full.json"
+        code, _ = run_cli(*sweep_args("--out", str(cold_path)))
+        assert code == 0
+        code, _ = run_cli(*sweep_args(
+            "--store", db, "--limit", "1", "--checkpoint", "1",
+            "--out", str(part_path),
+        ))
+        assert code == 0
+        code, _ = run_cli(*sweep_args(
+            "--store", db, "--resume", "--out", str(full_path),
+        ))
+        assert code == 0
+        assert full_path.read_bytes() == cold_path.read_bytes()
+        assert part_path.read_bytes() != cold_path.read_bytes()
+
+    def test_shard_flag_in_summary(self, tmp_path):
+        db = str(tmp_path / "cells.sqlite")
+        code, text = run_cli(*sweep_args("--store", db, "--shard", "0/2"))
+        assert code == 0
+        assert "[shard 0/2]" in text
+        assert "1/2 instances" in text
+
+    def test_resume_without_store_rejected(self):
+        code, text = run_cli(*sweep_args("--resume"))
+        assert code == 2
+        assert "--store" in text
+
+    def test_bad_shard_spec_rejected(self, tmp_path):
+        db = str(tmp_path / "cells.sqlite")
+        code, text = run_cli(*sweep_args("--store", db, "--shard", "5/2"))
+        assert code == 2
+        assert "shard" in text
+
+
+class TestStoreCommand:
+    def fill(self, tmp_path) -> str:
+        db = str(tmp_path / "store.sqlite")
+        code, _ = run_cli(*sweep_args("--store", db))
+        assert code == 0
+        return db
+
+    def test_stats(self, tmp_path):
+        import json as json_mod
+
+        db = self.fill(tmp_path)
+        code, text = run_cli("store", "stats", "--store", db)
+        assert code == 0
+        stats = json_mod.loads(text)
+        assert stats["entries"] == 2
+        assert stats["by_kind"] == {"sweep-cell": 2}
+        assert stats["stale"] == 0
+
+    def test_gc_noop_when_fresh(self, tmp_path):
+        db = self.fill(tmp_path)
+        code, text = run_cli("store", "gc", "--store", db)
+        assert code == 0
+        assert "removed 0" in text
+
+    def test_gc_kind_and_all(self, tmp_path):
+        db = self.fill(tmp_path)
+        code, text = run_cli("store", "gc", "--store", db,
+                             "--kind", "sweep-cell")
+        assert code == 0
+        assert "removed 2" in text
+        second = tmp_path / "second"
+        second.mkdir()
+        db2 = self.fill(second)
+        code, text = run_cli("store", "gc", "--store", db2, "--all")
+        assert code == 0
+        assert "removed 2" in text
+
+    def test_export(self, tmp_path):
+        import json as json_mod
+
+        db = self.fill(tmp_path)
+        out_path = tmp_path / "snap.json"
+        code, text = run_cli("store", "export", "--store", db,
+                             "--out", str(out_path))
+        assert code == 0
+        snap = json_mod.loads(out_path.read_text())
+        assert snap["meta"]["entries"] == 2
+        assert len(snap["entries"]) == 2
+        code, text = run_cli("store", "export", "--store", db)
+        assert code == 0
+        assert json_mod.loads(text)["meta"]["entries"] == 2
+
+
+class TestServeCommand:
+    def write_requests(self, tmp_path):
+        import json as json_mod
+
+        path = tmp_path / "requests.json"
+        path.write_text(json_mod.dumps({"requests": [
+            {"solver": "greedy", "app": "random-10", "size": "2x2",
+             "seed": 0},
+            {"solver": "dpa2d1d+refine", "app": "random-10",
+             "size": "2x2", "seed": 1},
+        ]}))
+        return str(path)
+
+    def test_cold_then_warm(self, tmp_path):
+        import json as json_mod
+
+        reqs = self.write_requests(tmp_path)
+        db = str(tmp_path / "serve.sqlite")
+        out_path = tmp_path / "responses.json"
+        code, text = run_cli("serve", "--batch", reqs, "--store", db,
+                             "--out", str(out_path))
+        assert code == 0
+        assert "2 misses" in text
+        cold = json_mod.loads(out_path.read_text())
+        code, text = run_cli("serve", "--batch", reqs, "--store", db)
+        assert code == 0
+        assert "2 hits" in text
+        assert cold["meta"]["misses"] == 2
+
+    def test_bad_requests_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, text = run_cli("serve", "--batch", str(bad))
+        assert code == 2
+        assert "bad requests file" in text
+
+    def test_missing_requests_file(self, tmp_path):
+        code, text = run_cli("serve", "--batch", str(tmp_path / "nope.json"))
+        assert code == 2
+
+    def test_serve_without_store_is_all_misses(self, tmp_path):
+        reqs = self.write_requests(tmp_path)
+        code, text = run_cli("serve", "--batch", reqs)
+        assert code == 0
+        assert "2 misses" in text
+        code, text = run_cli("serve", "--batch", reqs)
+        assert "2 misses" in text  # in-memory store: nothing persists

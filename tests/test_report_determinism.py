@@ -1,0 +1,59 @@
+"""Byte-level determinism of the canonical JSON reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import (
+    REPORT_SCHEMA_VERSION,
+    report_json,
+    run_scenario_sweep,
+    write_report,
+)
+from repro.util.version import repro_version
+
+SWEEP = dict(
+    topologies=("mesh", "ring"), sizes=("2x2",), ccrs=(1.0,),
+    apps=("random-8",), replicates=1, seed=0,
+)
+
+
+class TestReportJson:
+    def test_two_identical_runs_byte_identical(self):
+        assert report_json(run_scenario_sweep(**SWEEP)) == report_json(
+            run_scenario_sweep(**SWEEP)
+        )
+
+    def test_write_report_files_byte_identical(self, tmp_path):
+        a = write_report(tmp_path / "a.json", run_scenario_sweep(**SWEEP))
+        b = write_report(tmp_path / "b.json", run_scenario_sweep(**SWEEP))
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes().endswith(b"\n")
+
+    def test_schema_and_version_stamped_by_sweep(self):
+        meta = run_scenario_sweep(**SWEEP)["meta"]
+        assert meta["schema_version"] == REPORT_SCHEMA_VERSION
+        assert meta["repro_version"] == repro_version()
+
+    def test_report_json_stamps_missing_meta(self):
+        out = json.loads(report_json({"meta": {}, "data": [1]}))
+        assert out["meta"]["schema_version"] == REPORT_SCHEMA_VERSION
+        assert out["meta"]["repro_version"] == repro_version()
+        # ... without overriding a producer's explicit values:
+        out2 = json.loads(report_json({"meta": {"schema_version": 99}}))
+        assert out2["meta"]["schema_version"] == 99
+
+    def test_report_json_handles_missing_meta_key(self):
+        out = json.loads(report_json({"data": []}))
+        assert out["meta"]["schema_version"] == REPORT_SCHEMA_VERSION
+
+    def test_keys_sorted(self, tmp_path):
+        path = write_report(tmp_path / "r.json", run_scenario_sweep(**SWEEP))
+        text = path.read_text()
+        parsed = json.loads(text)
+        assert text == json.dumps(parsed, indent=1, sort_keys=True) + "\n"
+
+    def test_jobs_do_not_change_bytes(self):
+        assert report_json(
+            run_scenario_sweep(**SWEEP, jobs=1)
+        ) == report_json(run_scenario_sweep(**SWEEP, jobs=2))
