@@ -31,10 +31,16 @@ Subcommands
     completed cells are skipped, shards deterministically partition the
     cell grid, and a final ``--resume`` pass merges one shared store
     into a report bit-identical to a cold single-process run.
+    ``--retries``/``--deadline-s`` govern worker-crash/hang recovery,
+    ``--fault-plan`` injects deterministic chaos, and ``--strict``
+    turns permanently failed cells into a nonzero exit (the default is
+    graceful degradation with failures listed in ``meta.failures``).
 ``store``
     Inspect or maintain a result store: ``stats`` (entry counts),
     ``gc`` (purge stale-schema entries, one kind, or everything),
-    ``export`` (deterministic JSON snapshot).
+    ``export`` (deterministic JSON snapshot), ``verify`` (audit every
+    row's sha256 checksum; ``--quarantine`` moves corrupt rows aside so
+    resumed sweeps recompute them).
 ``serve``
     Batch mapping service: answer a JSON file of solver requests
     through the store — cache hit -> stored result, miss -> compute
@@ -50,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core.evaluate import energy, latency
@@ -78,6 +85,7 @@ from repro.solvers import (
 from repro.spg.random_gen import random_spg
 from repro.spg.streamit import STREAMIT_TABLE1, streamit_workflow
 from repro.util.fmt import format_table
+from repro.util.io import atomic_write_text
 from repro.util.version import repro_version
 
 __all__ = ["main", "build_parser"]
@@ -227,6 +235,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "CPUs; results are identical for any value; "
                             "default 1 = serial)")
 
+    def add_resilience_args(p):
+        p.add_argument(
+            "--retries", type=int, default=3, metavar="N",
+            help="attempts per task before it fails permanently "
+                 "(crashed/hung workers are respawned and the lost "
+                 "tasks re-run with the same pre-drawn seeds; "
+                 "default 3)",
+        )
+        p.add_argument(
+            "--deadline-s", type=float, default=None, metavar="S",
+            help="per-task wall-clock deadline; a blown deadline kills "
+                 "the worker and retries the task (default: none)",
+        )
+        p.add_argument(
+            "--fault-plan", metavar="SPEC", default=None,
+            help="deterministic fault injection, e.g. "
+                 "'crash@task:0;hang@task:2:0.2;corrupt@key:*' "
+                 "(default: the REPRO_FAULT_PLAN environment variable)",
+        )
+
     p_sw = sub.add_parser(
         "sweep",
         help="scenario sweep: {topology, size, CCR, app} cross-product",
@@ -281,11 +309,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--checkpoint", type=int, default=None, metavar="N",
                       help="file computed cells into --store every N "
                            "cells (default: once at the end)")
+    add_resilience_args(p_sw)
+    p_sw.add_argument("--strict", action="store_true",
+                      help="exit nonzero if any cell failed permanently "
+                           "(default: degrade — report the surviving "
+                           "cells and list failures in meta.failures)")
 
     p_st = sub.add_parser(
         "store", help="inspect or maintain a result store"
     )
-    p_st.add_argument("action", choices=["stats", "gc", "export"])
+    p_st.add_argument("action", choices=["stats", "gc", "export", "verify"])
     p_st.add_argument("--store", metavar="PATH", required=True,
                       help="the store to operate on (SQLite path)")
     p_st.add_argument("--kind", default=None,
@@ -296,6 +329,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--out", metavar="PATH", default=None,
                       help="export: write the JSON snapshot here "
                            "(default: stdout)")
+    p_st.add_argument("--quarantine", action="store_true",
+                      help="verify: move corrupt rows into the "
+                           "quarantine table (their keys then read as "
+                           "misses and resumed sweeps recompute them)")
 
     p_srv = sub.add_parser(
         "serve", help="batch mapping service over the result store"
@@ -311,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for cache misses (0 = all "
                             "CPUs; responses are identical for any value)")
+    add_resilience_args(p_srv)
     return parser
 
 
@@ -529,10 +567,21 @@ def cmd_experiment(args, out) -> int:
     )
     print(exp.render(), file=out)
     if args.csv:
-        with open(args.csv, "w") as fh:
-            fh.write(streamit_csv(exp))
+        atomic_write_text(args.csv, streamit_csv(exp))
         print(f"CSV written to {args.csv}", file=out)
     return 0
+
+
+def _policy_from_args(args):
+    """Build the RetryPolicy behind ``--retries`` / ``--deadline-s``."""
+    from repro.resilience import RetryPolicy
+
+    try:
+        return RetryPolicy(
+            max_attempts=args.retries, deadline_s=args.deadline_s
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def cmd_sweep(args, out) -> int:
@@ -563,14 +612,23 @@ def cmd_sweep(args, out) -> int:
             shard=args.shard,
             limit=args.limit,
             checkpoint=args.checkpoint,
+            policy=_policy_from_args(args),
+            faults=args.fault_plan,
         )
-    except ValueError as exc:
+    except (ValueError, argparse.ArgumentTypeError) as exc:
         print(str(exc.args[0] if exc.args else exc), file=out)
         return 2
     print(sweep_summary(report), file=out)
     if args.out:
         write_report(args.out, report)
         print(f"JSON report written to {args.out}", file=out)
+    if args.strict and report["meta"]["failures"]:
+        print(
+            f"strict mode: {len(report['meta']['failures'])} cell(s) "
+            f"failed permanently",
+            file=out,
+        )
+        return 1
     return 0
 
 
@@ -583,6 +641,10 @@ def cmd_store(args, out) -> int:
             print(json.dumps(store.stats(), indent=1, sort_keys=True),
                   file=out)
             return 0
+        if args.action == "verify":
+            result = store.verify(quarantine=args.quarantine)
+            print(json.dumps(result, indent=1, sort_keys=True), file=out)
+            return 0 if not result["corrupt"] else 1
         if args.action == "gc":
             removed = store.gc(kind=args.kind, drop_all=args.drop_all)
             what = (
@@ -595,8 +657,7 @@ def cmd_store(args, out) -> int:
             return 0
         snapshot = json.dumps(store.export(), indent=1, sort_keys=True)
         if args.out:
-            with open(args.out, "w") as fh:
-                fh.write(snapshot + "\n")
+            atomic_write_text(args.out, snapshot + "\n")
             print(f"store exported to {args.out}", file=out)
         else:
             print(snapshot, file=out)
@@ -606,7 +667,7 @@ def cmd_store(args, out) -> int:
 
 
 def cmd_serve(args, out) -> int:
-    from repro.store import load_requests, open_store, serve_batch
+    from repro.store import load_requests, serve_batch
     from repro.store.service import serve_summary
 
     try:
@@ -614,11 +675,12 @@ def cmd_serve(args, out) -> int:
     except (OSError, ValueError, TypeError, json.JSONDecodeError) as exc:
         print(f"bad requests file: {exc}", file=out)
         return 2
-    store = open_store(args.store)
-    try:
-        report = serve_batch(requests, store=store, jobs=args.jobs)
-    finally:
-        store.close()
+    # serve_batch opens (and closes) the store itself so the fault plan
+    # reaches the corruption-injection hook inside `put`.
+    report = serve_batch(
+        requests, store=args.store, jobs=args.jobs,
+        policy=_policy_from_args(args), faults=args.fault_plan,
+    )
     print(serve_summary(report), file=out)
     if args.out:
         write_report(args.out, report)
@@ -627,7 +689,19 @@ def cmd_serve(args, out) -> int:
 
 
 def main(argv=None, out=sys.stdout) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv), out)
+    except BrokenPipeError:
+        # A downstream consumer (``| head``, ``| grep -q``) closed the
+        # pipe early; that is their prerogative, not an error.  Detach
+        # stdout so the interpreter's shutdown flush cannot raise again,
+        # and exit with the conventional SIGPIPE status.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+def _dispatch(args, out) -> int:
     if args.command == "workflows":
         return cmd_workflows(args, out)
     if args.command == "platform":

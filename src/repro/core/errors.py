@@ -8,6 +8,7 @@ __all__ = [
     "HeuristicFailure",
     "BudgetExceeded",
     "UnsupportedPlatform",
+    "StoreCorruption",
 ]
 
 
@@ -28,6 +29,23 @@ class UnsupportedPlatform(ReproError):
     bidirectional mesh's N/S/W/E link structure and whose speed/period
     constraints assume one homogeneous DVFS model.
     """
+
+
+class StoreCorruption(ReproError):
+    """A result-store row failed integrity verification.
+
+    Raised with the offending key when a stored payload no longer
+    parses as JSON or no longer matches its recorded sha256 checksum
+    (torn write, disk fault, manual tampering).  The store-facing
+    recovery paths quarantine such rows and recompute their cells
+    instead of letting a raw ``json.JSONDecodeError`` abort a resumed
+    sweep; see ``repro store verify``.
+    """
+
+    def __init__(self, key: str, reason: str) -> None:
+        super().__init__(f"store row {key[:16]}... is corrupt: {reason}")
+        self.key = key
+        self.reason = reason
 
 
 class HeuristicFailure(ReproError):

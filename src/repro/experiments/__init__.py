@@ -18,7 +18,14 @@ from repro.experiments.random_experiments import (
     run_random_experiment,
     DEFAULT_ELEVATIONS,
 )
-from repro.experiments.parallel import resolve_jobs, run_tasks
+from repro.experiments.parallel import pool_available, resolve_jobs, run_tasks
+from repro.resilience import (
+    ExecutionStats,
+    FaultPlan,
+    RetryPolicy,
+    TaskError,
+    TaskFailure,
+)
 from repro.experiments.scenarios import (
     ScenarioSpec,
     build_scenarios,
@@ -57,6 +64,12 @@ __all__ = [
     "streamit_markdown",
     "resolve_jobs",
     "run_tasks",
+    "pool_available",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskError",
+    "ExecutionStats",
+    "FaultPlan",
     "ScenarioSpec",
     "build_scenarios",
     "parse_shard",

@@ -1,22 +1,41 @@
-"""Process-parallel experiment engine.
+"""Process-parallel experiment engine with fault-tolerant execution.
 
-The paper's figures sweep thousands of independent ``choose_period`` runs
-(12 StreamIt workflows x 4 CCRs, random-SPG panels with per-elevation
-replicates).  Each run is CPU-bound pure Python, so the engine fans them
-out over a :class:`concurrent.futures.ProcessPoolExecutor`:
+The paper's figures sweep thousands of independent ``choose_period``
+runs (12 StreamIt workflows x 4 CCRs, random-SPG panels with
+per-elevation replicates).  Each run is CPU-bound pure Python, so the
+engine fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`:
 
 * **Seed stability.**  The serial harness threads one RNG through SPG
   generation and period selection.  The parent process keeps doing exactly
   that — it generates every instance and pre-draws every heuristic seed in
   the original order — and ships ``(instance, seed)`` tasks to workers.
   Results are therefore bit-identical to a serial run for any ``jobs``.
-* **Chunked submission.**  Tasks are submitted through ``Executor.map``
-  with a chunksize that amortises pickling overhead over long sweeps.
-* **Ordered merge.**  ``Executor.map`` yields results in submission order,
-  so records are assembled exactly as the serial loops would.
+* **Tracked per-chunk futures.**  Tasks are submitted in deterministic
+  chunks through per-chunk futures (not bare ``Executor.map``), so the
+  engine knows exactly which task indices are in flight and can re-run
+  only the lost work when something goes wrong.
+* **Fault tolerance.**  A crashed worker (``BrokenProcessPool``) or a
+  chunk that blows its :class:`~repro.resilience.RetryPolicy` deadline
+  kills and respawns the pool and re-runs only the affected tasks —
+  split into singleton chunks to isolate a repeat offender — with the
+  *same pre-drawn seeds*, so every surviving result is still
+  bit-identical to a serial fault-free run.  A task that exhausts its
+  attempts becomes a typed :class:`~repro.resilience.TaskFailure`
+  record (``failures="record"``) or a :class:`~repro.resilience.TaskError`
+  (``failures="raise"``, the default) instead of a raw pool exception
+  discarding every in-flight result.
+* **Deterministic chaos.**  A :class:`~repro.resilience.FaultPlan`
+  (``faults=`` or the ``REPRO_FAULT_PLAN`` environment variable)
+  injects crashes and hangs at index- and attempt-addressed points, so
+  every recovery path above is testable and reproducible
+  (``tests/test_resilience.py``).
+* **Ordered merge.**  Results are keyed by task index and assembled in
+  submission order, exactly as the serial loops would.
 
 ``jobs=1`` (the default everywhere) bypasses the pool entirely and runs
-in-process, which keeps tests, tracebacks and profiling simple.
+in-process — retries and fault injection still apply (injected crashes
+and hangs surface as typed exceptions there), which keeps the recovery
+logic testable without a pool.
 
 The engine is strategy-agnostic: the ``heuristics`` tuples inside task
 payloads may name Section-5 heuristics or any solver spec from the
@@ -29,10 +48,25 @@ with pre-drawn seeds, keeping portfolio winners jobs-invariant too.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.experiments.period import PeriodChoice, choose_period
+from repro.resilience import (
+    ExecutionStats,
+    FaultPlan,
+    RetryPolicy,
+    TaskError,
+    TaskFailure,
+    WorkerCrash,
+    WorkerHang,
+    resolve_fault_plan,
+)
+from repro.resilience.faults import trigger_in_worker, trigger_serial
 from repro.solvers.composite import portfolio_member_task
 
 __all__ = [
@@ -41,14 +75,92 @@ __all__ = [
     "random_panel_task",
     "streamit_task",
     "portfolio_member_task",
+    "pool_available",
 ]
 
 
+#: Memoised result of the one-shot pool probe (None = not probed yet).
+_POOL_OK: bool | None = None
+
+
+def pool_available() -> bool:
+    """Best-effort check that process pools work in this environment.
+
+    Catches only the failure modes a sandboxed or restricted platform
+    actually produces — missing semaphores/pipes (``OSError``), a pool
+    that breaks on spawn (``BrokenProcessPool`` is a ``RuntimeError``),
+    or an unsupported start method (``NotImplementedError``) — so a
+    genuine bug (e.g. a ``TypeError`` in the probe) still surfaces.
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return list(pool.map(_identity_probe, [1])) == [1]
+    except (OSError, RuntimeError, NotImplementedError):
+        return False
+
+
+def _pool_ok() -> bool:
+    global _POOL_OK
+    if _POOL_OK is None:
+        _POOL_OK = pool_available()
+    return _POOL_OK
+
+
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalise a ``--jobs`` value: ``None``/``0`` means all CPUs."""
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all CPUs.
+
+    When more than one worker is requested but process pools do not
+    work in this environment (sandboxes without semaphores, restricted
+    platforms), falls back to ``1`` with a visible warning instead of
+    failing later with a mid-sweep ``BrokenProcessPool``.
+    """
     if jobs is None or jobs <= 0:
-        return os.cpu_count() or 1
+        jobs = os.cpu_count() or 1
+    if jobs > 1 and not _pool_ok():
+        warnings.warn(
+            f"process pools are unavailable in this environment; "
+            f"falling back to jobs=1 (requested {jobs})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
     return jobs
+
+
+@dataclass(frozen=True)
+class _ChunkTaskError:
+    """A task function's own exception, shipped back from a worker so
+    one bad task cannot poison its chunk-mates' results."""
+
+    index: int
+    message: str
+
+
+def _run_chunk(payload):
+    """Worker entry: run one chunk of ``(index, attempt, task)`` entries.
+
+    Fault sites armed for ``(index, attempt)`` fire *before* the task
+    runs — a crash takes the worker process down (the parent sees
+    ``BrokenProcessPool``), a hang sleeps through the deadline.  Task
+    exceptions are captured per entry so the rest of the chunk still
+    returns.
+    """
+    fn, entries, faults = payload
+    out = []
+    for index, attempt, task in entries:
+        if faults is not None:
+            site = faults.task_fault(index, attempt)
+            if site is not None:
+                trigger_in_worker(site)
+        try:
+            out.append(fn(task))
+        except Exception as exc:
+            out.append(_ChunkTaskError(index, f"{type(exc).__name__}: {exc}"))
+    return out
+
+
+def _token(tokens, index: int):
+    return index if tokens is None else tokens[index]
 
 
 def run_tasks(
@@ -56,23 +168,296 @@ def run_tasks(
     tasks: Sequence,
     jobs: int | None = 1,
     chunksize: int | None = None,
+    policy: RetryPolicy | None = None,
+    failures: str = "raise",
+    faults: "FaultPlan | str | None" = None,
+    tokens: Sequence | None = None,
+    deadlines: "Sequence[float | None] | None" = None,
+    stats: ExecutionStats | None = None,
 ) -> list:
-    """Apply ``fn`` to every task, preserving order.
+    """Apply ``fn`` to every task, preserving order, surviving faults.
 
-    ``jobs <= 1`` runs serially in-process; otherwise a process pool with
-    ``jobs`` workers executes the tasks in chunks and the results are
-    merged back in submission order.
+    ``jobs <= 1`` runs serially in-process; otherwise a process pool
+    with ``jobs`` workers executes the tasks in chunks and the results
+    are merged back in submission order.  Either way, work lost to a
+    crashed or hung worker is retried under ``policy`` (default:
+    :class:`~repro.resilience.RetryPolicy` — 3 attempts, exponential
+    backoff with deterministic jitter, no deadline) with the exact same
+    task tuples, so retried successes are bit-identical to a fault-free
+    run.
+
+    ``failures``
+        ``"raise"`` (default): a terminally failed task raises a typed
+        :class:`~repro.resilience.TaskError`; on the serial path a task
+        function's own exception propagates unchanged.  ``"record"``:
+        terminally failed tasks yield :class:`~repro.resilience.TaskFailure`
+        entries *in place* in the result list, and the sweep goes on.
+    ``faults``
+        A :class:`~repro.resilience.FaultPlan` (or its spec string);
+        ``None`` reads ``REPRO_FAULT_PLAN`` from the environment.
+    ``tokens``
+        Per-task backoff-jitter tokens (the pre-drawn task seeds, where
+        the caller has them); defaults to the task index.
+    ``deadlines``
+        Per-task overrides of ``policy.deadline_s`` (e.g. the batch
+        service's per-request deadlines).  A chunk's wall-clock budget
+        is the sum of its members' deadlines, measured from submission;
+        chunks holding any unbounded task are never timed out.
+    ``stats``
+        An :class:`~repro.resilience.ExecutionStats` to fill with
+        retry/respawn/failure counters (never part of canonical
+        reports).
     """
     tasks = list(tasks)
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [fn(t) for t in tasks]
+    policy = RetryPolicy() if policy is None else policy
+    plan = resolve_fault_plan(faults)
+    if stats is None:
+        stats = ExecutionStats()
+    if failures not in ("raise", "record"):
+        raise ValueError(f"failures must be 'raise' or 'record', got "
+                         f"{failures!r}")
+    if deadlines is not None and len(deadlines) != len(tasks):
+        raise ValueError("deadlines must align with tasks")
+    if len(tasks) <= 1:
+        jobs = 1
+    else:
+        jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        results = _run_serial(
+            fn, tasks, policy, plan, tokens, failures, stats
+        )
+    else:
+        results = _run_pool(
+            fn, tasks, jobs, chunksize, policy, plan, tokens, deadlines,
+            stats,
+        )
+        if failures == "raise":
+            for r in results:
+                if isinstance(r, TaskFailure):
+                    raise TaskError(r)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Serial path
+# ----------------------------------------------------------------------
+def _run_serial(fn, tasks, policy, plan, tokens, failures, stats):
+    """In-process execution with the same retry contract as the pool.
+
+    Injected crashes and hangs surface as :class:`WorkerCrash` /
+    :class:`WorkerHang` (there is no process to kill or preempt
+    in-process), mapped to the pool path's "crash"/"timeout" outcomes;
+    real deadlines cannot be enforced without a separate process.
+    """
+    results = []
+    for i, task in enumerate(tasks):
+        attempt = 1
+        while True:
+            reason = message = None
+            try:
+                if plan is not None:
+                    site = plan.task_fault(i, attempt)
+                    if site is not None:
+                        trigger_serial(site)
+                results.append(fn(task))
+                break
+            except WorkerCrash as exc:
+                reason, message = "crash", str(exc)
+                stats.crashes += 1
+            except WorkerHang as exc:
+                reason, message = "timeout", str(exc)
+                stats.timeouts += 1
+            except Exception as exc:
+                if failures == "raise":
+                    raise
+                tf = TaskFailure(
+                    i, "error", f"{type(exc).__name__}: {exc}", attempt
+                )
+                stats.failures.append(tf)
+                results.append(tf)
+                break
+            if attempt >= policy.max_attempts:
+                tf = TaskFailure(i, reason, message, attempt)
+                stats.failures.append(tf)
+                if failures == "raise":
+                    raise TaskError(tf)
+                results.append(tf)
+                break
+            time.sleep(policy.delay(attempt, _token(tokens, i)))
+            stats.retries += 1
+            attempt += 1
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pool path
+# ----------------------------------------------------------------------
+def _chunk_budget(policy, deadlines, indices) -> float | None:
+    """A chunk's wall-clock budget: the sum of its members' effective
+    deadlines, or ``None`` (never time out) if any member is unbounded."""
+    total = 0.0
+    for i in indices:
+        d = None if deadlines is None else deadlines[i]
+        if d is None:
+            d = policy.deadline_s
+        if d is None:
+            return None
+        total += d
+    return total
+
+
+def _kill_pool(pool) -> None:
+    """Forcibly stop a pool that may hold hung workers.
+
+    ``shutdown`` alone would join workers that are asleep in an
+    injected (or real) hang; terminating the processes first is the
+    only way the parent can reclaim them.
+    """
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _run_pool(
+    fn, tasks, jobs, chunksize, policy, plan, tokens, deadlines, stats
+):
+    """Tracked per-chunk futures with kill-and-respawn recovery.
+
+    One queue of ``(indices, attempt)`` work items drives the loop;
+    each pool generation submits everything queued, then waits.  On a
+    worker crash the pool is broken for *every* in-flight chunk, so all
+    unfinished chunks are charged one attempt and requeued as singleton
+    chunks (isolating a repeat offender); on a blown deadline only the
+    earliest-expired chunk is charged and the rest are requeued with a
+    fresh budget.  Tasks are pure functions of their tuples, so however
+    many times a chunk is re-run, surviving results are identical.
+    """
+    n = len(tasks)
     if chunksize is None:
-        chunksize = max(1, len(tasks) // (4 * jobs))
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, tasks, chunksize=chunksize))
+        chunksize = max(1, n // (4 * jobs))
+    results: dict[int, object] = {}
+    queue: list[tuple[tuple[int, ...], int]] = [
+        (tuple(range(lo, min(lo + chunksize, n))), 1)
+        for lo in range(0, n, chunksize)
+    ]
+    spawns = 0
+
+    def charge(indices, attempt, reason, retry_queue):
+        """One failed attempt for every task in ``indices``: requeue as
+        singletons at ``attempt + 1``, or fail terminally."""
+        for i in indices:
+            if attempt >= policy.max_attempts:
+                tf = TaskFailure(
+                    i, reason,
+                    f"worker {reason} (attempt {attempt})", attempt,
+                )
+                stats.failures.append(tf)
+                results[i] = tf
+            else:
+                stats.retries += 1
+                retry_queue.append(((i,), attempt + 1))
+
+    while queue:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        spawns += 1
+        retry_queue: list[tuple[tuple[int, ...], int]] = []
+        info: dict = {}
+        now = time.monotonic()
+        max_delay = 0.0
+        for indices, attempt in queue:
+            entries = [(i, attempt, tasks[i]) for i in indices]
+            fut = pool.submit(_run_chunk, (fn, entries, plan))
+            budget = _chunk_budget(policy, deadlines, indices)
+            info[fut] = (
+                indices, attempt,
+                None if budget is None else now + budget,
+            )
+        queue = []
+        pending = set(info)
+        broke = False
+        try:
+            while pending:
+                cutoffs = [
+                    info[f][2] for f in pending if info[f][2] is not None
+                ]
+                timeout = None
+                if cutoffs:
+                    timeout = max(0.0, min(cutoffs) - time.monotonic())
+                done, pending = wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                for fut in done:
+                    indices, attempt, _cutoff = info[fut]
+                    try:
+                        chunk_out = fut.result()
+                    except BrokenProcessPool:
+                        # The pool is broken for everyone; this chunk is
+                        # charged here, the rest as their futures drain
+                        # through `done` on the next wait() rounds (a
+                        # broken pool completes them all immediately).
+                        broke = True
+                        stats.crashes += 1
+                        charge(indices, attempt, "crash", retry_queue)
+                        continue
+                    for i, r in zip(indices, chunk_out):
+                        if isinstance(r, _ChunkTaskError):
+                            tf = TaskFailure(i, "error", r.message, attempt)
+                            stats.failures.append(tf)
+                            results[i] = tf
+                        else:
+                            results[i] = r
+                if broke:
+                    continue
+                if not done and pending:
+                    # A deadline expired.  Charge only the
+                    # earliest-expired chunk (with a hung worker pinning
+                    # one slot, that is the chunk actually stuck);
+                    # everything else is requeued uncharged with a
+                    # fresh budget on the respawned pool.
+                    now = time.monotonic()
+                    expired = [
+                        f for f in pending
+                        if info[f][2] is not None and info[f][2] <= now
+                    ]
+                    if not expired:
+                        continue  # pragma: no cover - wait() raced a result
+                    victim = min(expired, key=lambda f: info[f][2])
+                    stats.timeouts += 1
+                    indices, attempt, _cutoff = info[victim]
+                    charge(indices, attempt, "timeout", retry_queue)
+                    pending.discard(victim)
+                    for fut in pending:
+                        indices, attempt, _cutoff = info[fut]
+                        retry_queue.append((indices, attempt))
+                    pending = set()
+                    broke = True
+        finally:
+            if broke:
+                _kill_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        if retry_queue:
+            # Deterministic backoff: one sleep per respawn round, the
+            # longest of the retried tasks' delays.
+            max_delay = max(
+                policy.delay(attempt - 1, _token(tokens, indices[0]))
+                for indices, attempt in retry_queue
+                if attempt > 1
+            ) if any(a > 1 for _, a in retry_queue) else 0.0
+            if max_delay > 0:
+                time.sleep(max_delay)
+            retry_queue.sort(key=lambda item: item[0])
+        queue = retry_queue
+    stats.respawns += spawns - 1
+    return [results[i] for i in range(n)]
 
 
+# ----------------------------------------------------------------------
+# Task functions
+# ----------------------------------------------------------------------
 def random_panel_task(task) -> PeriodChoice:
     """Worker for one random-SPG replicate: ``(spg, grid, heuristics,
     seed, options)`` — the SPG was generated (and the seed pre-drawn) by
@@ -108,12 +493,3 @@ def streamit_task(task) -> PeriodChoice:
 
 def _identity_probe(x):  # pragma: no cover - used by engine self-tests
     return x
-
-
-def pool_available() -> bool:
-    """Best-effort check that process pools work in this environment."""
-    try:
-        with ProcessPoolExecutor(max_workers=1) as pool:
-            return list(pool.map(_identity_probe, [1])) == [1]
-    except Exception:
-        return False

@@ -24,6 +24,7 @@ from repro.experiments.random_experiments import RandomExperiment
 from repro.experiments.runner import normalized_energy
 from repro.experiments.streamit_experiments import StreamItExperiment
 from repro.spg.streamit import STREAMIT_TABLE1
+from repro.util.io import atomic_write_text
 from repro.util.version import repro_version
 
 __all__ = [
@@ -58,10 +59,14 @@ def report_json(report: dict) -> str:
 
 
 def write_report(path: "str | Path", report: dict) -> Path:
-    """Write ``report`` to ``path`` in canonical form (see above)."""
-    path = Path(path)
-    path.write_text(report_json(report))
-    return path
+    """Write ``report`` to ``path`` in canonical form (see above).
+
+    The write is atomic (temp file + ``os.replace``): an interrupted
+    run leaves either the previous complete report or the new one,
+    never a truncated file that byte-level consumers would mistake for
+    a real report.
+    """
+    return atomic_write_text(path, report_json(report))
 
 
 def streamit_csv(exp: StreamItExperiment) -> str:

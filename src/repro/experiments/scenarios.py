@@ -38,6 +38,12 @@ from dataclasses import dataclass
 from repro.experiments.parallel import random_panel_task, run_tasks
 from repro.experiments.period import PeriodChoice
 from repro.experiments.report import REPORT_SCHEMA_VERSION
+from repro.resilience import (
+    ExecutionStats,
+    RetryPolicy,
+    TaskFailure,
+    resolve_fault_plan,
+)
 from repro.heuristics.base import PAPER_ORDER
 from repro.solvers.options import merge_solver_options
 from repro.platform.topology import Topology, get_topology
@@ -210,6 +216,9 @@ def run_scenario_sweep(
     shard: "str | tuple[int, int] | None" = None,
     limit: int | None = None,
     checkpoint: int | None = None,
+    policy: RetryPolicy | None = None,
+    faults=None,
+    stats: ExecutionStats | None = None,
 ) -> dict:
     """Run the sweep and return the consolidated JSON-serialisable report.
 
@@ -257,12 +266,39 @@ def run_scenario_sweep(
     in sweep order regardless of shard/resume/limit, so every cell's
     inputs — and therefore its fingerprint and its results — are
     independent of how the grid was partitioned across invocations.
+
+    Resilience (``repro/resilience/``):
+
+    ``policy``
+        The :class:`~repro.resilience.RetryPolicy` governing worker
+        crashes and hangs (CLI ``--retries`` / ``--deadline-s``).  A
+        cell whose retries are exhausted is *degraded, not fatal*: the
+        sweep completes without it, records it in ``meta["failures"]``
+        (always present, ``[]`` on a clean run, so recovered runs stay
+        byte-identical to fault-free ones), and the CLI exits nonzero
+        only under ``--strict``.
+    ``faults``
+        A :class:`~repro.resilience.FaultPlan` or spec string (CLI
+        ``--fault-plan``; default: the ``REPRO_FAULT_PLAN`` environment
+        variable) injecting deterministic worker crashes/hangs (task
+        sites address positions within each executed batch) and store
+        row corruption.  Corrupt rows are detected by checksum on the
+        next resumed read, quarantined, and recomputed.
+    ``stats``
+        An :class:`~repro.resilience.ExecutionStats` filled with
+        retry/crash/timeout/respawn counters (operator telemetry; the
+        counters enter the report only as ``meta["fault_stats"]`` when
+        permanent failures exist — a clean recovered run's report
+        carries no trace of the recovery).
     """
     from repro.store.backend import open_store
     from repro.store.fingerprint import cell_fingerprint
     from repro.store.serialize import choice_from_payload, choice_to_payload
 
     rng = as_rng(seed)
+    plan = resolve_fault_plan(faults)
+    policy = RetryPolicy() if policy is None else policy
+    stats = ExecutionStats() if stats is None else stats
     heuristics = tuple(solvers) if solvers else tuple(heuristics)
     options = merge_solver_options(
         options, heuristics, refine, refine_sweeps, refine_schedule
@@ -297,15 +333,31 @@ def run_scenario_sweep(
     # Close only connections this call opened; a live ResultStore passed
     # in stays under the caller's lifecycle.
     own_store = store is not None and not isinstance(store, ResultStore)
-    store = open_store(store) if store is not None else None
+    store = open_store(store, faults=plan) if store is not None else None
+
+    def execute(indices: list[int]):
+        """Run a batch of cells fault-tolerantly; terminally failed
+        cells come back as TaskFailure records (index-local)."""
+        return run_tasks(
+            random_panel_task,
+            [tasks[i] for i in indices],
+            jobs=jobs,
+            policy=policy,
+            failures="record",
+            faults=plan,
+            tokens=[tasks[i][3] for i in indices],
+            stats=stats,
+        )
 
     choices_by_idx: dict[int, PeriodChoice] = {}
+    failed_by_idx: dict[int, TaskFailure] = {}
     try:
         if store is None:
-            results = run_tasks(
-                random_panel_task, [tasks[i] for i in selected], jobs=jobs
-            )
-            choices_by_idx = dict(zip(selected, results))
+            for idx, res in zip(selected, execute(selected)):
+                if isinstance(res, TaskFailure):
+                    failed_by_idx[idx] = res
+                else:
+                    choices_by_idx[idx] = res
         else:
             keys: dict[int, str] = {}
             misses: list[int] = []
@@ -314,6 +366,8 @@ def run_scenario_sweep(
                 keys[idx] = cell_fingerprint(
                     spg, platform, heuristics, hseed, options
                 )
+                # A corrupt stored row is quarantined inside get() and
+                # reads as a miss, so the cell is recomputed here.
                 payload = store.get(keys[idx]) if resume else None
                 if payload is not None:
                     choices_by_idx[idx] = choice_from_payload(
@@ -324,15 +378,15 @@ def run_scenario_sweep(
             batch = len(misses) if not checkpoint else max(1, checkpoint)
             for lo in range(0, len(misses), max(1, batch)):
                 chunk = misses[lo : lo + max(1, batch)]
-                results = run_tasks(
-                    random_panel_task, [tasks[i] for i in chunk], jobs=jobs
-                )
-                for idx, choice in zip(chunk, results):
+                for idx, res in zip(chunk, execute(chunk)):
+                    if isinstance(res, TaskFailure):
+                        failed_by_idx[idx] = res
+                        continue
                     store.put(
-                        keys[idx], choice_to_payload(choice),
+                        keys[idx], choice_to_payload(res),
                         kind="sweep-cell",
                     )
-                    choices_by_idx[idx] = choice
+                    choices_by_idx[idx] = res
     finally:
         if own_store:
             store.close()
@@ -351,8 +405,18 @@ def run_scenario_sweep(
             "failures": {h: 0 for h in heuristics},
             "instances": 0,
         })
+    cell_failures: list[dict] = []
     for idx in selected:
         s_idx, label = task_meta[idx]
+        if idx in failed_by_idx:
+            tf = failed_by_idx[idx]
+            cell_failures.append({
+                "label": label,
+                "reason": tf.reason,
+                "message": tf.message,
+                "attempts": tf.attempts,
+            })
+            continue
         record, ok_flags = _snap_choice(choices_by_idx[idx], heuristics)
         record["label"] = label
         entry = per_scenario[s_idx]
@@ -379,6 +443,10 @@ def run_scenario_sweep(
         "processed_instances": len(selected),
         "refine": bool(refine),
         "refine_schedule": refine_schedule if refine else None,
+        # Always present: [] on a clean run, so a run whose faults were
+        # all *recovered* (retries succeeded, corrupt rows recomputed)
+        # serialises byte-identically to a fault-free run.
+        "failures": cell_failures,
     }
     # Shard/limit are stamped only when they actually restricted the
     # grid: a full resumed (merge) pass must serialise byte-identically
@@ -388,6 +456,16 @@ def run_scenario_sweep(
         meta["shard"] = f"{shard_part[0]}/{shard_part[1]}"
     if limit is not None:
         meta["limit"] = limit
+    # Retry/respawn counters enter the report only alongside permanent
+    # failures (the report differs from the clean run anyway then);
+    # recovered-run telemetry lives in the caller's `stats` object.
+    if cell_failures:
+        meta["fault_stats"] = {
+            "retries": stats.retries,
+            "crashes": stats.crashes,
+            "timeouts": stats.timeouts,
+            "respawns": stats.respawns,
+        }
     return {"meta": meta, "scenarios": per_scenario}
 
 
@@ -420,7 +498,7 @@ def sweep_summary(report: dict) -> str:
         else f"{processed}/{total} instances"
     )
     shard = f" [shard {meta['shard']}]" if meta.get("shard") else ""
-    return format_table(
+    table = format_table(
         ["topology", "size", "cores", "ccr", "app", *heuristics, "routes"],
         rows,
         title=(
@@ -430,3 +508,16 @@ def sweep_summary(report: dict) -> str:
             f"(successes per heuristic; * = heterogeneous speeds)"
         ),
     )
+    failures = meta.get("failures") or []
+    if failures:
+        lines = [
+            f"WARNING: {len(failures)} cell(s) failed permanently "
+            f"(degraded report):"
+        ]
+        lines += [
+            f"  {f['label']}: {f['reason']} after {f['attempts']} "
+            f"attempt(s) — {f['message']}"
+            for f in failures
+        ]
+        table += "\n" + "\n".join(lines)
+    return table

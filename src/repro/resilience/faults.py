@@ -1,0 +1,225 @@
+"""Deterministic fault injection.
+
+In the spirit of systematic parallel-behaviour exploration, faults are
+*inputs*: a :class:`FaultPlan` names exactly where a worker crash, a
+worker hang or a store-row corruption strikes, and the engine's
+recovery machinery must bring the run back to a byte-identical report.
+Plans are compact strings so they travel through the
+``REPRO_FAULT_PLAN`` environment variable into CLI chaos runs::
+
+    crash@task:3          kill the worker executing task index 3
+    crash@task:*          ... executing any task (first attempt only)
+    hang@task:5*2:0.5     hang task 5 for 0.5 s on its first 2 attempts
+    corrupt@key:3fa       garble the first stored row whose key starts
+                          with "3fa" (below the checksum, so ``get``
+                          detects and quarantines it)
+    corrupt@key:*         ... the first stored row, whatever its key
+
+Entries are ``;``-separated.  Task sites are **attempt-addressed**: a
+site fires while ``attempt <= times`` (default once), so a retried task
+deterministically escapes the fault — no shared mutable state is needed
+between the parent and respawned pool workers.  Key sites consume a
+per-site counter in the writing process (store puts happen in the
+parent, so a plain counter suffices).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "FaultSite",
+    "FaultPlan",
+    "WorkerCrash",
+    "WorkerHang",
+    "resolve_fault_plan",
+]
+
+#: Environment variable holding a fault-plan spec for CLI chaos runs.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Default injected-hang duration — long enough that an unrecovered
+#: hang is obvious, short enough that a missing deadline cannot wedge a
+#: test run forever.
+DEFAULT_HANG_S = 30.0
+
+_KINDS = {"crash", "hang", "corrupt"}
+_SCOPES = {"crash": "task", "hang": "task", "corrupt": "key"}
+
+
+class WorkerCrash(ReproError):
+    """A (simulated) worker crash, surfaced as an exception on the
+    serial path where there is no process to kill."""
+
+
+class WorkerHang(ReproError):
+    """A (simulated) worker hang on the serial path, where a real sleep
+    could not be interrupted; the engine treats it as a timeout."""
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One injection point: ``kind@scope:target[*times][:seconds]``."""
+
+    kind: str  # "crash" | "hang" | "corrupt"
+    scope: str  # "task" (index-addressed) | "key" (prefix-addressed)
+    target: str  # task index, key prefix, or "*"
+    times: int = 1
+    seconds: float = DEFAULT_HANG_S
+
+    def matches_task(self, index: int, attempt: int) -> bool:
+        return (
+            self.scope == "task"
+            and (self.target == "*" or self.target == str(index))
+            and attempt <= self.times
+        )
+
+    def matches_key(self, key: str) -> bool:
+        return self.scope == "key" and (
+            self.target == "*" or key.startswith(self.target)
+        )
+
+    def to_spec(self) -> str:
+        spec = f"{self.kind}@{self.scope}:{self.target}"
+        if self.times != 1:
+            spec += f"*{self.times}"
+        if self.kind == "hang" and self.seconds != DEFAULT_HANG_S:
+            spec += f":{self.seconds:g}"
+        return spec
+
+
+@dataclass
+class FaultPlan:
+    """An ordered list of fault sites, plus the key-site fire counters
+    (counters are process-local; task sites are attempt-addressed and
+    need no state — see the module docstring)."""
+
+    sites: list[FaultSite] = field(default_factory=list)
+    _fired: dict[int, int] = field(default_factory=dict, compare=False)
+
+    @staticmethod
+    def parse(spec: str) -> "FaultPlan":
+        sites: list[FaultSite] = []
+        for raw in spec.split(";"):
+            entry = raw.strip()
+            if not entry:
+                continue
+            try:
+                kind, rest = entry.split("@", 1)
+                scope, rest = rest.split(":", 1)
+            except ValueError:
+                raise ValueError(
+                    f"fault site must look like kind@scope:target, "
+                    f"got {entry!r}"
+                ) from None
+            kind, scope = kind.strip().lower(), scope.strip().lower()
+            if kind not in _KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} (expected one of "
+                    f"{sorted(_KINDS)})"
+                )
+            if scope != _SCOPES[kind]:
+                raise ValueError(
+                    f"{kind} faults are {_SCOPES[kind]}-addressed, "
+                    f"got scope {scope!r} in {entry!r}"
+                )
+            pieces = rest.split(":")
+            target = pieces[0].strip()
+            times = 1
+            # The times suffix is parsed from the right so that a bare
+            # "*" stays a wildcard target ("**2" = any target, twice).
+            if "*" in target:
+                head, times_s = target.rsplit("*", 1)
+                if times_s.isdigit() and head:
+                    target, times = head, int(times_s)
+                    if times < 1:
+                        raise ValueError(
+                            f"times must be >= 1 in {entry!r}"
+                        )
+            seconds = DEFAULT_HANG_S
+            if len(pieces) > 1:
+                if kind != "hang" or len(pieces) > 2:
+                    raise ValueError(
+                        f"only hang sites take a :seconds suffix "
+                        f"({entry!r})"
+                    )
+                seconds = float(pieces[1])
+                if seconds <= 0:
+                    raise ValueError(f"hang seconds must be > 0 ({entry!r})")
+            if scope == "task" and target != "*":
+                int(target)  # validate now, fail loudly at parse time
+            if not target:
+                raise ValueError(f"empty fault target in {entry!r}")
+            sites.append(FaultSite(kind, scope, target, times, seconds))
+        return FaultPlan(sites)
+
+    def to_spec(self) -> str:
+        return ";".join(site.to_spec() for site in self.sites)
+
+    # -- task sites (stateless, attempt-addressed) ---------------------
+    def task_fault(self, index: int, attempt: int) -> FaultSite | None:
+        """The first crash/hang site armed for this (task, attempt)."""
+        for site in self.sites:
+            if site.kind in ("crash", "hang") and site.matches_task(
+                index, attempt
+            ):
+                return site
+        return None
+
+    # -- key sites (counter per site, writer-process-local) ------------
+    def corrupt_put(self, key: str) -> bool:
+        """Whether to corrupt the row being filed under ``key`` now.
+
+        Each corrupt site fires on the first ``times`` matching puts
+        seen by this process, then disarms.
+        """
+        for i, site in enumerate(self.sites):
+            if site.kind == "corrupt" and site.matches_key(key):
+                fired = self._fired.get(i, 0)
+                if fired < site.times:
+                    self._fired[i] = fired + 1
+                    return True
+        return False
+
+
+def resolve_fault_plan(
+    faults: "FaultPlan | str | None",
+) -> FaultPlan | None:
+    """Coerce a ``faults=`` argument into a plan.
+
+    ``None`` falls back to the ``REPRO_FAULT_PLAN`` environment
+    variable (the CLI chaos hook); an absent/empty variable means no
+    injection.
+    """
+    if isinstance(faults, FaultPlan):
+        return faults
+    if faults is None:
+        faults = os.environ.get(FAULT_PLAN_ENV) or None
+    if faults is None:
+        return None
+    plan = FaultPlan.parse(faults)
+    return plan if plan.sites else None
+
+
+def trigger_in_worker(site: FaultSite) -> None:
+    """Fire a task site inside a pool worker: a crash takes the whole
+    process down (exactly what a segfaulting worker does to a
+    ``ProcessPoolExecutor``); a hang sleeps through the task's
+    deadline."""
+    if site.kind == "crash":
+        os._exit(13)
+    time.sleep(site.seconds)
+
+
+def trigger_serial(site: FaultSite) -> None:
+    """Fire a task site on the in-process path, where dying or sleeping
+    for real would take the caller down with us: crashes and hangs
+    surface as typed exceptions the retry loop maps to the same
+    "crash"/"timeout" outcomes as the pool path."""
+    if site.kind == "crash":
+        raise WorkerCrash(f"injected crash ({site.to_spec()})")
+    raise WorkerHang(f"injected hang ({site.to_spec()})")

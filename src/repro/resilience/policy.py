@@ -1,0 +1,160 @@
+"""Retry policies and typed task failures.
+
+A :class:`RetryPolicy` bounds how the engine re-runs work lost to a
+crashed or hung worker: at most ``max_attempts`` tries per task,
+separated by exponential backoff whose jitter is a *deterministic*
+function of ``(token, attempt)`` — the token is the task's pre-drawn
+seed where the caller knows it (sweeps, portfolios) and the task index
+otherwise — so two identical chaos runs sleep identically and stay
+reproducible end to end.
+
+A task that exhausts its attempts becomes a :class:`TaskFailure` record
+(JSON round-trippable, filed in sweep ``meta.failures``) instead of an
+exception tearing down the whole sweep; callers that prefer the old
+fail-fast contract get a typed :class:`TaskError` carrying the record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskError",
+    "ExecutionStats",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how long) to keep trying one task.
+
+    ``deadline_s`` is the per-task wall-clock budget enforced by the
+    pool engine: a chunk of ``k`` tasks must finish within ``k *
+    deadline_s`` of submission or its workers are killed and the chunk
+    is retried (``None`` = never time out).  The serial path cannot
+    interrupt a genuinely hung call, so there injected hangs surface as
+    immediate timeouts instead (see :mod:`repro.resilience.faults`).
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.1
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+
+    def delay(self, attempt: int, token: "int | str" = 0) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based:
+        attempt 1 is the delay between the first failure and the second
+        try).  Exponential in ``attempt``, capped at ``max_backoff_s``,
+        stretched by a deterministic jitter fraction drawn from
+        ``sha256(token:attempt)`` — no global RNG state is consumed.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(
+            self.backoff_s * self.backoff_factor ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + self.jitter * frac)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task's terminal failure after all retries were spent.
+
+    ``reason`` is one of ``"crash"`` (the worker process died),
+    ``"timeout"`` (the task blew its deadline) or ``"error"`` (the task
+    function itself raised — never retried, since a deterministic
+    exception would fail every attempt identically).
+    """
+
+    index: int
+    reason: str
+    message: str
+    attempts: int
+
+    def to_payload(self) -> dict:
+        return {
+            "index": self.index,
+            "reason": self.reason,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "TaskFailure":
+        return TaskFailure(
+            index=int(payload["index"]),
+            reason=str(payload["reason"]),
+            message=str(payload["message"]),
+            attempts=int(payload["attempts"]),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"task {self.index} failed ({self.reason}) after "
+            f"{self.attempts} attempt(s): {self.message}"
+        )
+
+
+class TaskError(ReproError):
+    """Raised by ``run_tasks(..., failures='raise')`` — the default —
+    when a task fails terminally; carries the :class:`TaskFailure`."""
+
+    def __init__(self, failure: TaskFailure) -> None:
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+@dataclass
+class ExecutionStats:
+    """Recovery counters for one ``run_tasks`` call.
+
+    Callers pass an instance in (``stats=``) to observe what the engine
+    had to do; the counters never feed canonical reports (a recovered
+    run must serialise byte-identically to a fault-free one), only
+    operator-facing summaries.
+    """
+
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+    failures: list[TaskFailure] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.failures
+            and not self.retries
+            and not self.crashes
+            and not self.timeouts
+        )
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.retries += other.retries
+        self.crashes += other.crashes
+        self.timeouts += other.timeouts
+        self.respawns += other.respawns
+        self.failures.extend(other.failures)
+
+    def summary(self) -> str:
+        return (
+            f"{self.retries} retries, {self.crashes} crashes, "
+            f"{self.timeouts} timeouts, {self.respawns} pool respawns, "
+            f"{len(self.failures)} permanent failures"
+        )

@@ -145,6 +145,7 @@ class PortfolioSolver(Solver):
 
     def solve(self, problem, rng=None, upstream=None) -> SolverResult:
         from repro.experiments.parallel import run_tasks
+        from repro.resilience import TaskFailure
 
         t0 = time.perf_counter()
         rng = as_rng(rng)
@@ -153,7 +154,19 @@ class PortfolioSolver(Solver):
             (solver, problem, seed)
             for solver, seed in zip(self._solvers, seeds)
         ]
-        results = run_tasks(portfolio_member_task, tasks, jobs=self.jobs)
+        # Degrade, don't abort: a member lost to a crashed/hung worker
+        # (after retries) becomes that member's failure, and the
+        # portfolio still returns the best *surviving* mapping.
+        results = run_tasks(
+            portfolio_member_task, tasks, jobs=self.jobs,
+            failures="record", tokens=seeds,
+        )
+        results = [
+            SolverResult(
+                self._solvers[i].spec, None, None, failure=r.describe()
+            ) if isinstance(r, TaskFailure) else r
+            for i, r in enumerate(results)
+        ]
         best_i: int | None = None
         for i, r in enumerate(results):
             if r.ok and (

@@ -9,7 +9,10 @@ platform, CCR, solver spec} cells; this package makes it *incremental*:
 * :mod:`repro.store.serialize` — lossless JSON payload round-trips for
   solver results and whole sweep cells;
 * :mod:`repro.store.backend` — the :class:`ResultStore` interface with
-  SQLite and in-memory backends (``repro store stats/gc/export``);
+  SQLite and in-memory backends (``repro store stats/gc/export``),
+  sha256 payload checksums verified on every read, and quarantine for
+  corrupt rows (``repro store verify [--quarantine]``; quarantined
+  keys read as misses, so resumed sweeps recompute them);
 * :mod:`repro.store.service` — the batch mapping service behind
   ``repro serve --batch`` (hit -> stored result, miss ->
   compute-through-the-parallel-engine-and-store).
@@ -26,6 +29,7 @@ from repro.store.backend import (
     ResultStore,
     SQLiteStore,
     open_store,
+    payload_checksum,
 )
 from repro.store.fingerprint import (
     canonical_json,
@@ -58,6 +62,7 @@ __all__ = [
     "MemoryStore",
     "SQLiteStore",
     "open_store",
+    "payload_checksum",
     "fingerprint",
     "canonical_json",
     "spg_payload",

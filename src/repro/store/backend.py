@@ -1,4 +1,4 @@
-"""Persistent, content-addressed result stores.
+"""Persistent, content-addressed result stores with integrity checks.
 
 A :class:`ResultStore` files JSON payloads (see
 :mod:`repro.store.serialize`) under content-addressed fingerprints (see
@@ -11,14 +11,31 @@ A :class:`ResultStore` files JSON payloads (see
   and tolerating concurrent writers (independent shard invocations
   filling one store file).
 
-Every row records the payload schema version and the library version
-that wrote it, so ``repro store gc`` can purge entries an older (or
-newer) payload layout left behind, and ``stats``/``export`` can audit a
-store without deserialising results.
+**Integrity.**  Every ``put`` records the sha256 checksum of the
+serialised payload text; every ``get`` re-verifies it (and that the
+text still parses).  A row that fails — torn write, disk fault,
+tampering — is a typed :class:`~repro.core.errors.StoreCorruption`, and
+the default recovery is to *quarantine* it: the row moves to a side
+table (keeping the bytes for forensics) and the key reads as a miss, so
+a resumed sweep recomputes the cell instead of crashing on a raw
+``json.JSONDecodeError``.  ``repro store verify`` audits a whole store;
+rows written before checksums existed verify as ``unchecksummed`` and
+are never quarantined automatically.
+
+Every row also records the payload schema version and the library
+version that wrote it, so ``repro store gc`` can purge entries an older
+(or newer) payload layout left behind, and ``stats``/``export`` can
+audit a store without deserialising results.
+
+For deterministic chaos testing, a :class:`~repro.resilience.FaultPlan`
+passed at construction (``faults=``) garbles matching rows *below* the
+checksum at ``put`` time — exactly the class of corruption the
+verification layer exists to catch.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sqlite3
 import time
@@ -26,6 +43,8 @@ from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.core.errors import StoreCorruption
+from repro.resilience.faults import FaultPlan
 from repro.store.serialize import PAYLOAD_SCHEMA_VERSION
 from repro.util.version import repro_version
 
@@ -34,26 +53,53 @@ __all__ = [
     "MemoryStore",
     "SQLiteStore",
     "open_store",
+    "payload_checksum",
 ]
 
 
+def payload_checksum(text: str) -> str:
+    """The sha256 hex digest of a serialised payload."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _parse_verified(key: str, text: str, checksum: str | None) -> dict:
+    """Parse a stored payload, verifying its checksum when present.
+
+    Raises :class:`StoreCorruption` on a checksum mismatch or
+    unparsable text; a ``None`` checksum (pre-checksum rows) skips
+    verification — ``repro store verify`` reports those separately.
+    """
+    if checksum is not None:
+        actual = payload_checksum(text)
+        if actual != checksum:
+            raise StoreCorruption(
+                key, f"checksum mismatch (stored {checksum[:12]}..., "
+                     f"payload hashes to {actual[:12]}...)"
+            )
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StoreCorruption(key, f"payload is not valid JSON: {exc}")
+
+
 class ResultStore(ABC):
-    """Keyed payload storage with schema-version bookkeeping."""
+    """Keyed payload storage with integrity and schema bookkeeping."""
 
     #: Human-readable location (``":memory:"`` or a file path).
     location: str = ":memory:"
 
-    # -- required primitives -------------------------------------------
-    @abstractmethod
-    def get(self, key: str) -> dict | None:
-        """The payload filed under ``key``, or ``None``."""
+    #: Keys this instance quarantined during its lifetime (operator
+    #: reporting only — never part of canonical reports).
+    session_quarantined: list[str]
 
+    # -- required primitives -------------------------------------------
     @abstractmethod
     def put(self, key: str, payload: dict, kind: str = "result") -> None:
         """File ``payload`` under ``key`` (replacing any previous entry).
 
         The row's schema version is read from ``payload["schema"]``
-        (defaulting to the current :data:`PAYLOAD_SCHEMA_VERSION`).
+        (defaulting to the current :data:`PAYLOAD_SCHEMA_VERSION`); the
+        row records the sha256 checksum of the serialised text.
         """
 
     @abstractmethod
@@ -68,15 +114,92 @@ class ResultStore(ABC):
         ``with_payload=False`` yields ``payload`` as ``None`` without
         deserialising it — sweep-cell payloads are multi-KB, and the
         metadata-only consumers (stats, gc, keys) should not pay to
-        parse every stored result just to count or select rows.
+        parse every stored result just to count or select rows.  With
+        payloads, a corrupt row raises a typed :class:`StoreCorruption`
+        (run ``repro store verify --quarantine`` to clear it) instead
+        of a raw decode error.
         """
 
+    @abstractmethod
+    def quarantine(self, key: str, reason: str) -> bool:
+        """Move ``key`` out of the live table into the quarantine area
+        (payload bytes preserved for forensics); the key then reads as
+        a miss so resume paths recompute it.  Returns whether the key
+        existed."""
+
+    @abstractmethod
+    def quarantined(self) -> list[dict]:
+        """Quarantined rows as ``{key, kind, reason}`` in key order."""
+
+    @abstractmethod
+    def _texts(self) -> Iterator[tuple[str, str, str | None]]:
+        """Raw ``(key, payload_text, checksum)`` triples, in key order
+        (the verification layer's view — no JSON parsing)."""
+
     def close(self) -> None:
-        """Release any underlying resources (no-op by default)."""
+        """Release any underlying resources (no-op by default); safe to
+        call twice and from error paths."""
+
+    # -- integrity ------------------------------------------------------
+    def get(self, key: str, on_corrupt: str = "quarantine") -> dict | None:
+        """The payload filed under ``key``, or ``None``.
+
+        Integrity is verified on every read.  ``on_corrupt`` selects
+        the failure mode: ``"quarantine"`` (default) moves the bad row
+        aside and returns ``None`` — the caller recomputes, exactly as
+        for a miss; ``"raise"`` surfaces the typed
+        :class:`StoreCorruption` instead.
+        """
+        found = self._fetch_text(key)
+        if found is None:
+            return None
+        text, checksum = found
+        try:
+            return _parse_verified(key, text, checksum)
+        except StoreCorruption as exc:
+            if on_corrupt == "raise":
+                raise
+            self.quarantine(key, exc.reason)
+            return None
+
+    @abstractmethod
+    def _fetch_text(self, key: str) -> tuple[str, str | None] | None:
+        """The raw ``(payload_text, checksum)`` for ``key``, if any."""
+
+    def verify(self, quarantine: bool = False) -> dict:
+        """Audit every row's checksum; optionally quarantine failures.
+
+        Returns ``{location, checked, ok, unchecksummed, corrupt:
+        [{key, kind?, error}], quarantined}``.  ``unchecksummed`` counts
+        rows written before checksums existed (verified as far as JSON
+        parsing only).
+        """
+        corrupt: list[dict] = []
+        unchecksummed = 0
+        checked = 0
+        for key, text, checksum in self._texts():
+            checked += 1
+            if checksum is None:
+                unchecksummed += 1
+            try:
+                _parse_verified(key, text, checksum)
+            except StoreCorruption as exc:
+                corrupt.append({"key": key, "error": exc.reason})
+        if quarantine:
+            for entry in corrupt:
+                self.quarantine(entry["key"], entry["error"])
+        return {
+            "location": self.location,
+            "checked": checked,
+            "ok": checked - len(corrupt),
+            "unchecksummed": unchecksummed,
+            "corrupt": corrupt,
+            "quarantined": len(corrupt) if quarantine else 0,
+        }
 
     # -- derived conveniences ------------------------------------------
     def __contains__(self, key: str) -> bool:
-        return self.get(key) is not None
+        return self._fetch_text(key) is not None
 
     def keys(self) -> list[str]:
         return [row["key"] for row in self.rows(with_payload=False)]
@@ -103,6 +226,7 @@ class ResultStore(ABC):
             "by_kind": by_kind,
             "by_schema": by_schema,
             "stale": stale,
+            "quarantined": len(self.quarantined()),
             "current_schema": PAYLOAD_SCHEMA_VERSION,
         }
 
@@ -129,7 +253,10 @@ class ResultStore(ABC):
 
         Write timestamps are excluded so two stores holding the same
         results export byte-identically regardless of fill order (e.g.
-        one filled serially vs. one merged from shards).
+        one filled serially vs. one merged from shards).  A corrupt row
+        aborts the export with a typed :class:`StoreCorruption` —
+        quarantine it first (``repro store verify --quarantine``) to
+        snapshot the surviving rows.
         """
         return {
             "meta": {
@@ -153,21 +280,50 @@ class MemoryStore(ResultStore):
     """An in-process store (payloads are deep-copied via JSON on both
     ends, so callers cannot mutate stored state by aliasing)."""
 
-    def __init__(self) -> None:
+    def __init__(self, faults: FaultPlan | None = None) -> None:
         self._rows: dict[str, dict] = {}
+        self._quarantine: dict[str, dict] = {}
+        self._faults = faults
         self.location = ":memory:"
-
-    def get(self, key: str) -> dict | None:
-        row = self._rows.get(key)
-        return None if row is None else json.loads(row["payload"])
+        self.session_quarantined = []
 
     def put(self, key: str, payload: dict, kind: str = "result") -> None:
+        text = json.dumps(payload, sort_keys=True)
+        checksum = payload_checksum(text)
+        if self._faults is not None and self._faults.corrupt_put(key):
+            text = text[: max(1, len(text) // 2)]  # torn write
         self._rows[key] = {
             "kind": kind,
             "schema": int(payload.get("schema", PAYLOAD_SCHEMA_VERSION)),
             "version": repro_version(),
-            "payload": json.dumps(payload, sort_keys=True),
+            "payload": text,
+            "checksum": checksum,
         }
+
+    def _fetch_text(self, key: str) -> tuple[str, str | None] | None:
+        row = self._rows.get(key)
+        if row is None:
+            return None
+        return row["payload"], row["checksum"]
+
+    def _texts(self) -> Iterator[tuple[str, str, str | None]]:
+        for key in sorted(self._rows):
+            row = self._rows[key]
+            yield key, row["payload"], row["checksum"]
+
+    def quarantine(self, key: str, reason: str) -> bool:
+        row = self._rows.pop(key, None)
+        if row is None:
+            return False
+        self._quarantine[key] = {**row, "reason": reason}
+        self.session_quarantined.append(key)
+        return True
+
+    def quarantined(self) -> list[dict]:
+        return [
+            {"key": key, "kind": row["kind"], "reason": row["reason"]}
+            for key, row in sorted(self._quarantine.items())
+        ]
 
     def delete(self, keys: Iterable[str]) -> int:
         n = 0
@@ -185,7 +341,8 @@ class MemoryStore(ResultStore):
                 "schema": row["schema"],
                 "version": row["version"],
                 "payload": (
-                    json.loads(row["payload"]) if with_payload else None
+                    _parse_verified(key, row["payload"], row["checksum"])
+                    if with_payload else None
                 ),
             }
 
@@ -196,99 +353,191 @@ class SQLiteStore(ResultStore):
     WAL journalling plus a generous busy timeout let independent shard
     invocations write into the same file; each ``put`` commits, so a
     killed sweep keeps everything stored up to the last completed batch.
+    Multi-row operations (``delete``, gc, quarantine moves) run inside
+    explicit transactions, so an interruption can never leave them half
+    applied.  Stores created before checksums existed are migrated in
+    place (the new columns/table are added; old rows verify as
+    ``unchecksummed``).
     """
 
-    def __init__(self, path: "str | Path") -> None:
+    def __init__(
+        self, path: "str | Path", faults: FaultPlan | None = None
+    ) -> None:
         self.path = Path(path)
         self.location = str(self.path)
+        self._faults = faults
+        self.session_quarantined = []
         self._conn = sqlite3.connect(self.path, timeout=30.0)
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute(
-            """
-            CREATE TABLE IF NOT EXISTS results (
-                key TEXT PRIMARY KEY,
-                kind TEXT NOT NULL,
-                schema INTEGER NOT NULL,
-                version TEXT NOT NULL,
-                created_at REAL NOT NULL,
-                payload TEXT NOT NULL
-            )
-            """
-        )
-        self._conn.commit()
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            with self._conn:
+                self._conn.execute(
+                    """
+                    CREATE TABLE IF NOT EXISTS results (
+                        key TEXT PRIMARY KEY,
+                        kind TEXT NOT NULL,
+                        schema INTEGER NOT NULL,
+                        version TEXT NOT NULL,
+                        created_at REAL NOT NULL,
+                        payload TEXT NOT NULL,
+                        checksum TEXT
+                    )
+                    """
+                )
+                cols = {
+                    row[1] for row in self._conn.execute(
+                        "PRAGMA table_info(results)"
+                    )
+                }
+                if "checksum" not in cols:
+                    self._conn.execute(
+                        "ALTER TABLE results ADD COLUMN checksum TEXT"
+                    )
+                self._conn.execute(
+                    """
+                    CREATE TABLE IF NOT EXISTS quarantine (
+                        key TEXT PRIMARY KEY,
+                        kind TEXT NOT NULL,
+                        schema INTEGER NOT NULL,
+                        version TEXT NOT NULL,
+                        created_at REAL NOT NULL,
+                        payload TEXT NOT NULL,
+                        checksum TEXT,
+                        reason TEXT NOT NULL,
+                        quarantined_at REAL NOT NULL
+                    )
+                    """
+                )
+        except BaseException:
+            # Never leak a half-initialised connection (e.g. the path
+            # exists but is not a database).
+            self._conn.close()
+            self._conn = None
+            raise
 
-    def get(self, key: str) -> dict | None:
-        cur = self._conn.execute(
-            "SELECT payload FROM results WHERE key = ?", (key,)
-        )
-        row = cur.fetchone()
-        return None if row is None else json.loads(row[0])
+    def _db(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise RuntimeError(f"store {self.location} is closed")
+        return self._conn
 
     def put(self, key: str, payload: dict, kind: str = "result") -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO results "
-            "(key, kind, schema, version, created_at, payload) "
-            "VALUES (?, ?, ?, ?, ?, ?)",
-            (
-                key,
-                kind,
-                int(payload.get("schema", PAYLOAD_SCHEMA_VERSION)),
-                repro_version(),
-                time.time(),
-                json.dumps(payload, sort_keys=True),
-            ),
+        text = json.dumps(payload, sort_keys=True)
+        checksum = payload_checksum(text)
+        if self._faults is not None and self._faults.corrupt_put(key):
+            text = text[: max(1, len(text) // 2)]  # torn write
+        with self._db() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, kind, schema, version, created_at, payload, checksum) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key,
+                    kind,
+                    int(payload.get("schema", PAYLOAD_SCHEMA_VERSION)),
+                    repro_version(),
+                    time.time(),
+                    text,
+                    checksum,
+                ),
+            )
+
+    def _fetch_text(self, key: str) -> tuple[str, str | None] | None:
+        cur = self._db().execute(
+            "SELECT payload, checksum FROM results WHERE key = ?", (key,)
         )
-        self._conn.commit()
+        row = cur.fetchone()
+        return None if row is None else (row[0], row[1])
+
+    def _texts(self) -> Iterator[tuple[str, str, str | None]]:
+        cur = self._db().execute(
+            "SELECT key, payload, checksum FROM results ORDER BY key"
+        )
+        yield from cur
+
+    def quarantine(self, key: str, reason: str) -> bool:
+        with self._db() as conn:
+            cur = conn.execute(
+                "INSERT OR REPLACE INTO quarantine "
+                "SELECT key, kind, schema, version, created_at, payload, "
+                "checksum, ?, ? FROM results WHERE key = ?",
+                (reason, time.time(), key),
+            )
+            moved = cur.rowcount > 0
+            conn.execute("DELETE FROM results WHERE key = ?", (key,))
+        if moved:
+            self.session_quarantined.append(key)
+        return moved
+
+    def quarantined(self) -> list[dict]:
+        cur = self._db().execute(
+            "SELECT key, kind, reason FROM quarantine ORDER BY key"
+        )
+        return [
+            {"key": key, "kind": kind, "reason": reason}
+            for key, kind, reason in cur
+        ]
 
     def delete(self, keys: Iterable[str]) -> int:
         keys = list(keys)
         n = 0
-        for key in keys:
-            cur = self._conn.execute(
-                "DELETE FROM results WHERE key = ?", (key,)
-            )
-            n += cur.rowcount
-        self._conn.commit()
+        with self._db() as conn:
+            for key in keys:
+                cur = conn.execute(
+                    "DELETE FROM results WHERE key = ?", (key,)
+                )
+                n += cur.rowcount
         return n
 
     def rows(self, with_payload: bool = True) -> Iterator[dict]:
-        payload_col = "payload" if with_payload else "NULL"
-        cur = self._conn.execute(
-            f"SELECT key, kind, schema, version, {payload_col} "
+        payload_cols = "payload, checksum" if with_payload else "NULL, NULL"
+        cur = self._db().execute(
+            f"SELECT key, kind, schema, version, {payload_cols} "
             "FROM results ORDER BY key"
         )
-        for key, kind, schema, version, payload in cur:
+        for key, kind, schema, version, payload, checksum in cur:
             yield {
                 "key": key,
                 "kind": kind,
                 "schema": schema,
                 "version": version,
-                "payload": json.loads(payload) if with_payload else None,
+                "payload": (
+                    _parse_verified(key, payload, checksum)
+                    if with_payload else None
+                ),
             }
 
     def __len__(self) -> int:
-        cur = self._conn.execute("SELECT COUNT(*) FROM results")
+        cur = self._db().execute("SELECT COUNT(*) FROM results")
         return int(cur.fetchone()[0])
 
     def __contains__(self, key: str) -> bool:
-        cur = self._conn.execute(
+        cur = self._db().execute(
             "SELECT 1 FROM results WHERE key = ?", (key,)
         )
         return cur.fetchone() is not None
 
     def close(self) -> None:
-        self._conn.close()
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - close-time races
+                pass
 
 
-def open_store(spec: "str | Path | ResultStore | None") -> ResultStore:
+def open_store(
+    spec: "str | Path | ResultStore | None",
+    faults: FaultPlan | None = None,
+) -> ResultStore:
     """Coerce a CLI/API store argument into a :class:`ResultStore`.
 
     ``None`` and ``":memory:"`` build a fresh :class:`MemoryStore`;
-    an existing store instance passes through; anything else is a
-    SQLite file path (created on first use).
+    an existing store instance passes through (``faults`` is ignored —
+    the instance's own plan stands); anything else is a SQLite file
+    path (created on first use).
     """
     if isinstance(spec, ResultStore):
         return spec
     if spec is None or spec == ":memory:":
-        return MemoryStore()
-    return SQLiteStore(spec)
+        return MemoryStore(faults=faults)
+    return SQLiteStore(spec, faults=faults)

@@ -18,13 +18,23 @@ each entry supports::
       "ccr":      10.0,                  # null = the app's original CCR
       "period":   null,                  # null = Section-6.1.3 procedure
       "seed":     0,
-      "options":  {}                     # producer options / refine kwargs
+      "options":  {},                    # producer options / refine kwargs
+      "deadline_s": null                 # per-request wall-clock budget
     }
 
 Responses are order-aligned with requests and identical for any
 ``jobs`` value; whether an answer came from the store is reported in a
 per-response ``cached`` flag and the meta hit/miss counters, never in
 the result fields themselves.
+
+The service degrades per request rather than failing the batch: a
+request whose worker crashes or blows its ``deadline_s`` (after the
+:class:`~repro.resilience.RetryPolicy`'s retries) comes back as an
+*error response* — ``ok: false`` with a structured ``error`` field —
+while every other request is answered normally; errored requests are
+never filed in the store, so a later batch retries them.  The
+``deadline_s`` field never enters the request fingerprint: the same
+mapping problem is the same cache entry whatever budget it ran under.
 """
 
 from __future__ import annotations
@@ -35,6 +45,12 @@ from dataclasses import dataclass, field
 from repro.core.problem import ProblemInstance
 from repro.experiments.parallel import run_tasks
 from repro.experiments.period import choose_period
+from repro.resilience import (
+    ExecutionStats,
+    RetryPolicy,
+    TaskFailure,
+    resolve_fault_plan,
+)
 from repro.solvers.options import solver_for_run
 from repro.spg.graph import SPG
 from repro.spg.random_gen import random_spg
@@ -69,12 +85,13 @@ class BatchRequest:
     period: float | None = None
     seed: int = 0
     options: dict = field(default_factory=dict)
+    deadline_s: float | None = None
 
     @staticmethod
     def from_payload(payload: dict) -> "BatchRequest":
         known = {
             "solver", "app", "topology", "size", "ccr", "period", "seed",
-            "options",
+            "options", "deadline_s",
         }
         unknown = set(payload) - known
         if unknown:
@@ -93,6 +110,7 @@ class BatchRequest:
             "period": self.period,
             "seed": self.seed,
             "options": self.options,
+            "deadline_s": self.deadline_s,
         }
 
     def build_app(self) -> SPG:
@@ -150,25 +168,37 @@ def serve_batch(
     requests: "list[BatchRequest]",
     store: "ResultStore | str | None" = None,
     jobs: int | None = 1,
+    policy: "RetryPolicy | None" = None,
+    faults=None,
+    stats: "ExecutionStats | None" = None,
 ) -> dict:
     """Answer every request through ``store`` and return the response doc.
 
     Hits are answered from stored payloads; misses are computed over the
     parallel engine (``jobs`` workers, order-preserving — responses are
     identical for any value) and filed before answering.
+
+    ``policy`` governs crash/hang recovery for the computed misses (CLI
+    ``--retries`` / ``--deadline-s``); each request's own ``deadline_s``
+    overrides the policy default.  A request that still fails becomes an
+    error response (``ok: false`` with ``error: {reason, attempts}``)
+    instead of aborting the batch; ``faults`` injects deterministic
+    chaos exactly as in the sweep engine.
     """
     # Close only connections opened here; a live ResultStore passed in
     # stays under the caller's lifecycle.
+    plan = resolve_fault_plan(faults)
     own_store = not isinstance(store, ResultStore)
-    store = open_store(store)
+    store = open_store(store, faults=plan)
     try:
-        return _serve_batch(store, requests, jobs)
+        return _serve_batch(store, requests, jobs, policy, plan, stats)
     finally:
         if own_store:
             store.close()
 
 
-def _serve_batch(store: ResultStore, requests, jobs) -> dict:
+def _serve_batch(store: ResultStore, requests, jobs, policy, plan,
+                 stats) -> dict:
     keyed = []
     for req in requests:
         spg = req.build_app()
@@ -194,9 +224,21 @@ def _serve_batch(store: ResultStore, requests, jobs) -> dict:
         )
         for i in misses
     ]
-    for idx, (period, result) in zip(
-        misses, run_tasks(_solve_task, tasks, jobs=jobs)
-    ):
+    errors: dict[int, TaskFailure] = {}
+    outcomes = run_tasks(
+        _solve_task, tasks, jobs=jobs, policy=policy,
+        failures="record", faults=plan,
+        tokens=[keyed[i][0].seed for i in misses],
+        deadlines=[keyed[i][0].deadline_s for i in misses],
+        stats=stats,
+    )
+    for idx, outcome in zip(misses, outcomes):
+        if isinstance(outcome, TaskFailure):
+            # Not filed: the failure is this run's, not the problem's —
+            # a later batch (or a longer deadline) retries the request.
+            errors[idx] = outcome
+            continue
+        period, result = outcome
         payload = {
             "schema": PAYLOAD_SCHEMA_VERSION,
             "period": period,
@@ -208,21 +250,36 @@ def _serve_batch(store: ResultStore, requests, jobs) -> dict:
     miss_set = set(misses)
     responses = []
     for idx, (req, spg, platform, key) in enumerate(keyed):
-        payload = payloads[idx]
-        res = solver_result_from_payload(payload["result"], spg, platform)
         entry = {
             "index": idx,
             "request": req.to_payload(),
             "key": key,
             "cached": idx not in miss_set,
-            "period": payload["period"],
-            "solver": res.solver,
-            "ok": res.ok,
-            "failure": res.failure,
+            "period": None,
+            "solver": req.solver,
+            "ok": False,
+            "failure": None,
             "energy": None,
             "total_energy": None,
             "active_cores": None,
+            "error": None,
         }
+        if idx in errors:
+            tf = errors[idx]
+            entry["failure"] = tf.describe()
+            entry["error"] = {
+                "reason": tf.reason,
+                "attempts": tf.attempts,
+                "message": tf.message,
+            }
+            responses.append(entry)
+            continue
+        payload = payloads[idx]
+        res = solver_result_from_payload(payload["result"], spg, platform)
+        entry["period"] = payload["period"]
+        entry["solver"] = res.solver
+        entry["ok"] = res.ok
+        entry["failure"] = res.failure
         if res.ok:
             res.mapping.check_structure()
             entry["energy"] = {
@@ -241,6 +298,7 @@ def _serve_batch(store: ResultStore, requests, jobs) -> dict:
             "requests": len(requests),
             "hits": len(requests) - len(misses),
             "misses": len(misses),
+            "errors": len(errors),
             "store": store.location,
         },
         "responses": responses,
@@ -250,9 +308,11 @@ def _serve_batch(store: ResultStore, requests, jobs) -> dict:
 def serve_summary(report: dict) -> str:
     """A terse per-request summary for the CLI."""
     meta = report["meta"]
+    errors = meta.get("errors", 0)
+    err_note = f", {errors} errors" if errors else ""
     lines = [
         f"batch service: {meta['requests']} requests, "
-        f"{meta['hits']} hits, {meta['misses']} misses "
+        f"{meta['hits']} hits, {meta['misses']} misses{err_note} "
         f"(store: {meta['store']})"
     ]
     for r in report["responses"]:
@@ -267,6 +327,12 @@ def serve_summary(report: dict) -> str:
                 f"  [{r['index']}] {src} {what}: "
                 f"{r['total_energy']:.4f} J/period, "
                 f"{r['active_cores']} cores, T={r['period']:g}"
+            )
+        elif r.get("error"):
+            lines.append(
+                f"  [{r['index']}] {src} {what}: ERROR "
+                f"({r['error']['reason']} after "
+                f"{r['error']['attempts']} attempt(s))"
             )
         else:
             lines.append(

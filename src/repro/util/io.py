@@ -1,0 +1,44 @@
+"""Crash-safe filesystem helpers.
+
+Report and checkpoint files are consumed by byte-level comparison
+(``cmp``-based resume/shard/chaos checks in CI), so a torn write —
+the process dying mid-``write_text`` — must never leave a half-report
+behind masquerading as a complete one.  :func:`atomic_write_text`
+writes to a uniquely-named sibling temp file, flushes and fsyncs it,
+then :func:`os.replace`\\ s it over the destination: readers see either
+the old complete file or the new complete file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: "str | Path", text: str) -> Path:
+    """Atomically replace ``path``'s contents with ``text``.
+
+    The temp file lives in the destination directory (``os.replace``
+    must not cross filesystems) and is removed on any failure, so an
+    interrupted write leaves no debris and never touches ``path``.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+    return path
