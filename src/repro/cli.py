@@ -45,6 +45,18 @@ Subcommands
     Batch mapping service: answer a JSON file of solver requests
     through the store — cache hit -> stored result, miss -> compute
     over the parallel engine and store.
+``trace``
+    Summarize a recorded JSONL trace: ``repro trace summarize out.jsonl``
+    prints per-span-kind count/total/p50/p99 aggregates.
+
+``map``, ``solve``, ``compare``, ``experiment``, ``sweep`` and ``serve``
+accept the observability flags (``repro/obs/``): ``--trace PATH``
+records a hierarchical span trace to a JSONL file (also armed by the
+``REPRO_TRACE`` environment variable), ``--metrics`` prints the session
+metric aggregates after the command, and ``--profile DIR`` dumps
+per-process ``cProfile`` files (workers included).  Telemetry is
+strictly out-of-band: reports and stored results are byte-identical
+with or without it.
 
 ``map``, ``solve``, ``compare``, ``experiment`` and ``sweep`` accept
 ``--topology`` (default ``mesh``, the paper's platform); ``repro
@@ -235,6 +247,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "CPUs; results are identical for any value; "
                             "default 1 = serial)")
 
+    def add_obs_args(p):
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="record a span trace to this JSONL file (see 'repro "
+                 "trace summarize'; also armed by REPRO_TRACE)",
+        )
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="print session metric aggregates (counters/histograms) "
+                 "after the command",
+        )
+        p.add_argument(
+            "--profile", metavar="DIR", default=None,
+            help="dump per-process cProfile files into DIR (pool "
+                 "workers inherit via REPRO_PROFILE)",
+        )
+
     def add_resilience_args(p):
         p.add_argument(
             "--retries", type=int, default=3, metavar="N",
@@ -254,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
                  "'crash@task:0;hang@task:2:0.2;corrupt@key:*' "
                  "(default: the REPRO_FAULT_PLAN environment variable)",
         )
+
+    for p in (p_map, p_solve, p_cmp, p_exp):
+        add_obs_args(p)
 
     p_sw = sub.add_parser(
         "sweep",
@@ -310,6 +342,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="file computed cells into --store every N "
                            "cells (default: once at the end)")
     add_resilience_args(p_sw)
+    add_obs_args(p_sw)
+    p_sw.add_argument("--stats-json", metavar="PATH", default=None,
+                      help="dump execution statistics (retries, crashes, "
+                           "timeouts, respawns) plus the session metrics "
+                           "snapshot to this JSON file")
     p_sw.add_argument("--strict", action="store_true",
                       help="exit nonzero if any cell failed permanently "
                            "(default: degrade — report the surviving "
@@ -349,6 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for cache misses (0 = all "
                             "CPUs; responses are identical for any value)")
     add_resilience_args(p_srv)
+    add_obs_args(p_srv)
+
+    p_tr = sub.add_parser(
+        "trace", help="work with recorded JSONL span traces"
+    )
+    p_tr.add_argument("action", choices=["summarize"])
+    p_tr.add_argument("path", help="the JSONL trace file to read")
     return parser
 
 
@@ -594,6 +638,9 @@ def cmd_sweep(args, out) -> int:
     if args.resume and args.store is None:
         print("--resume requires --store", file=out)
         return 2
+    from repro.resilience import ExecutionStats
+
+    stats = ExecutionStats()
     try:
         report = run_scenario_sweep(
             topologies=args.topologies,
@@ -614,6 +661,7 @@ def cmd_sweep(args, out) -> int:
             checkpoint=args.checkpoint,
             policy=_policy_from_args(args),
             faults=args.fault_plan,
+            stats=stats,
         )
     except (ValueError, argparse.ArgumentTypeError) as exc:
         print(str(exc.args[0] if exc.args else exc), file=out)
@@ -622,6 +670,27 @@ def cmd_sweep(args, out) -> int:
     if args.out:
         write_report(args.out, report)
         print(f"JSON report written to {args.out}", file=out)
+    if args.stats_json:
+        from repro.obs.session import active_metrics
+
+        metrics = active_metrics()
+        doc = {
+            "execution": {
+                "retries": stats.retries,
+                "crashes": stats.crashes,
+                "timeouts": stats.timeouts,
+                "respawns": stats.respawns,
+                "permanent_failures": len(stats.failures),
+            },
+            "metrics": (
+                metrics.snapshot() if metrics is not None else None
+            ),
+        }
+        atomic_write_text(
+            args.stats_json,
+            json.dumps(doc, indent=1, sort_keys=True) + "\n",
+        )
+        print(f"execution stats written to {args.stats_json}", file=out)
     if args.strict and report["meta"]["failures"]:
         print(
             f"strict mode: {len(report['meta']['failures'])} cell(s) "
@@ -688,6 +757,17 @@ def cmd_serve(args, out) -> int:
     return 0
 
 
+def cmd_trace(args, out) -> int:
+    from repro.obs.summarize import render_trace_summary
+
+    try:
+        print(render_trace_summary(args.path), file=out)
+    except (OSError, ValueError) as exc:
+        print(f"bad trace file: {exc}", file=out)
+        return 2
+    return 0
+
+
 def main(argv=None, out=sys.stdout) -> int:
     try:
         return _dispatch(build_parser().parse_args(argv), out)
@@ -701,7 +781,45 @@ def main(argv=None, out=sys.stdout) -> int:
         return 141
 
 
+#: Commands that accept --trace/--metrics/--profile.
+_OBS_COMMANDS = frozenset(
+    {"map", "solve", "compare", "experiment", "sweep", "serve"}
+)
+
+
 def _dispatch(args, out) -> int:
+    """Route to the command, under an observability session if asked.
+
+    ``--trace`` (or the ``REPRO_TRACE`` environment variable) records a
+    span trace; ``--metrics`` (or ``--stats-json``, which needs the
+    aggregates) installs the metrics registry; ``--profile`` arms
+    ``REPRO_PROFILE`` so this process *and* spawned pool workers dump
+    cProfile files.  With none of them the command runs exactly as
+    before — no session is installed and every hook is a no-op.
+    """
+    if args.command not in _OBS_COMMANDS:
+        return _run_command(args, out)
+    trace = args.trace or os.environ.get("REPRO_TRACE") or None
+    metrics = args.metrics or getattr(args, "stats_json", None) is not None
+    if args.profile:
+        from repro.obs.profile import PROFILE_ENV
+
+        os.environ[PROFILE_ENV] = args.profile
+    if not trace and not metrics and not args.profile:
+        return _run_command(args, out)
+    from repro.obs import maybe_profile, observability, render_metrics
+
+    with observability(trace=trace, metrics=metrics) as session:
+        with maybe_profile("cli"):
+            code = _run_command(args, out)
+        if args.metrics and session.metrics is not None:
+            print(render_metrics(session.metrics), file=out)
+    if trace:
+        print(f"trace written to {trace}", file=out)
+    return code
+
+
+def _run_command(args, out) -> int:
     if args.command == "workflows":
         return cmd_workflows(args, out)
     if args.command == "platform":
@@ -722,6 +840,8 @@ def _dispatch(args, out) -> int:
         return cmd_store(args, out)
     if args.command == "serve":
         return cmd_serve(args, out)
+    if args.command == "trace":
+        return cmd_trace(args, out)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

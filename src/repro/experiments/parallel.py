@@ -56,6 +56,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.experiments.period import PeriodChoice, choose_period
+from repro.obs.profile import maybe_profile
+from repro.obs.session import absorb, capture, capture_config, event, inc
 from repro.resilience import (
     ExecutionStats,
     FaultPlan,
@@ -117,6 +119,11 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs is None or jobs <= 0:
         jobs = os.cpu_count() or 1
     if jobs > 1 and not _pool_ok():
+        # The degradation must be diagnosable after the fact, not only
+        # from a scrolled-away warning: count it and stamp a structured
+        # event into any active trace (both no-ops when obs is off).
+        inc("engine.jobs_fallback")
+        event("warning.jobs_fallback", requested=jobs)
         warnings.warn(
             f"process pools are unavailable in this environment; "
             f"falling back to jobs=1 (requested {jobs})",
@@ -136,6 +143,15 @@ class _ChunkTaskError:
     message: str
 
 
+@dataclass(frozen=True)
+class _ObsWrapped:
+    """A task outcome bundled with the worker's telemetry buffer (only
+    produced when the parent had an observability session active)."""
+
+    value: object
+    blob: dict
+
+
 def _run_chunk(payload):
     """Worker entry: run one chunk of ``(index, attempt, task)`` entries.
 
@@ -144,18 +160,38 @@ def _run_chunk(payload):
     ``BrokenProcessPool``), a hang sleeps through the deadline.  Task
     exceptions are captured per entry so the rest of the chunk still
     returns.
+
+    When the parent traced/metered (``obs_cfg``), each task runs under a
+    local buffering session whose spans and counters ship back with the
+    result — the parent absorbs them in task-index order, which keeps
+    metric aggregates identical to a serial run.  ``REPRO_PROFILE``
+    additionally dumps one ``cProfile`` file per executed chunk.
     """
-    fn, entries, faults = payload
+    fn, entries, faults, obs_cfg = payload
     out = []
-    for index, attempt, task in entries:
-        if faults is not None:
-            site = faults.task_fault(index, attempt)
-            if site is not None:
-                trigger_in_worker(site)
-        try:
-            out.append(fn(task))
-        except Exception as exc:
-            out.append(_ChunkTaskError(index, f"{type(exc).__name__}: {exc}"))
+    with maybe_profile("worker"):
+        for index, attempt, task in entries:
+            if faults is not None:
+                site = faults.task_fault(index, attempt)
+                if site is not None:
+                    trigger_in_worker(site)
+            blob = None
+            try:
+                if obs_cfg is not None:
+                    with capture(obs_cfg) as cap:
+                        result = fn(task)
+                    blob = cap.export()
+                else:
+                    result = fn(task)
+            except Exception as exc:
+                result = _ChunkTaskError(
+                    index, f"{type(exc).__name__}: {exc}"
+                )
+                if obs_cfg is not None:
+                    blob = cap.export()
+            out.append(
+                result if blob is None else _ObsWrapped(result, blob)
+            )
     return out
 
 
@@ -229,7 +265,7 @@ def run_tasks(
     else:
         results = _run_pool(
             fn, tasks, jobs, chunksize, policy, plan, tokens, deadlines,
-            stats,
+            stats, capture_config(),
         )
         if failures == "raise":
             for r in results:
@@ -322,7 +358,8 @@ def _kill_pool(pool) -> None:
 
 
 def _run_pool(
-    fn, tasks, jobs, chunksize, policy, plan, tokens, deadlines, stats
+    fn, tasks, jobs, chunksize, policy, plan, tokens, deadlines, stats,
+    obs_cfg=None,
 ):
     """Tracked per-chunk futures with kill-and-respawn recovery.
 
@@ -339,6 +376,9 @@ def _run_pool(
     if chunksize is None:
         chunksize = max(1, n // (4 * jobs))
     results: dict[int, object] = {}
+    # Telemetry blobs by task index; dict overwrite keeps only the final
+    # attempt's buffer, matching what a serial fault-free run records.
+    obs_by_idx: dict[int, dict] = {}
     queue: list[tuple[tuple[int, ...], int]] = [
         (tuple(range(lo, min(lo + chunksize, n))), 1)
         for lo in range(0, n, chunksize)
@@ -369,7 +409,7 @@ def _run_pool(
         max_delay = 0.0
         for indices, attempt in queue:
             entries = [(i, attempt, tasks[i]) for i in indices]
-            fut = pool.submit(_run_chunk, (fn, entries, plan))
+            fut = pool.submit(_run_chunk, (fn, entries, plan, obs_cfg))
             budget = _chunk_budget(policy, deadlines, indices)
             info[fut] = (
                 indices, attempt,
@@ -403,6 +443,9 @@ def _run_pool(
                         charge(indices, attempt, "crash", retry_queue)
                         continue
                     for i, r in zip(indices, chunk_out):
+                        if isinstance(r, _ObsWrapped):
+                            obs_by_idx[i] = r.blob
+                            r = r.value
                         if isinstance(r, _ChunkTaskError):
                             tf = TaskFailure(i, "error", r.message, attempt)
                             stats.failures.append(tf)
@@ -452,6 +495,11 @@ def _run_pool(
             retry_queue.sort(key=lambda item: item[0])
         queue = retry_queue
     stats.respawns += spawns - 1
+    # Fold worker telemetry into the parent session in task-index order
+    # — the ordering (not worker scheduling) is what makes the merged
+    # aggregates identical to a serial run's.
+    for i in sorted(obs_by_idx):
+        absorb(obs_by_idx[i])
     return [results[i] for i in range(n)]
 
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from repro.experiments.parallel import random_panel_task, run_tasks
 from repro.experiments.period import PeriodChoice
 from repro.experiments.report import REPORT_SCHEMA_VERSION
+from repro.obs.session import inc, trace_span
 from repro.resilience import (
     ExecutionStats,
     RetryPolicy,
@@ -156,6 +157,14 @@ def parse_shard(spec: "str | tuple[int, int] | None") -> tuple[int, int] | None:
     if n < 1 or not 0 <= i < n:
         raise ValueError(f"shard needs 0 <= i < N, got {i}/{n}")
     return i, n
+
+
+def sweep_cell_task(task) -> PeriodChoice:
+    """Worker for one sweep cell: :func:`random_panel_task` under a
+    ``sweep.cell`` span, so a traced sweep shows per-cell timings with
+    the solver spans nested inside (a no-op wrapper when obs is off)."""
+    with trace_span("sweep.cell"):
+        return random_panel_task(task)
 
 
 def _snap_choice(
@@ -339,7 +348,7 @@ def run_scenario_sweep(
         """Run a batch of cells fault-tolerantly; terminally failed
         cells come back as TaskFailure records (index-local)."""
         return run_tasks(
-            random_panel_task,
+            sweep_cell_task,
             [tasks[i] for i in indices],
             jobs=jobs,
             policy=policy,
@@ -352,41 +361,49 @@ def run_scenario_sweep(
     choices_by_idx: dict[int, PeriodChoice] = {}
     failed_by_idx: dict[int, TaskFailure] = {}
     try:
-        if store is None:
-            for idx, res in zip(selected, execute(selected)):
-                if isinstance(res, TaskFailure):
-                    failed_by_idx[idx] = res
-                else:
-                    choices_by_idx[idx] = res
-        else:
-            keys: dict[int, str] = {}
-            misses: list[int] = []
-            for idx in selected:
-                spg, platform, _h, hseed, _o = tasks[idx]
-                keys[idx] = cell_fingerprint(
-                    spg, platform, heuristics, hseed, options
-                )
-                # A corrupt stored row is quarantined inside get() and
-                # reads as a miss, so the cell is recomputed here.
-                payload = store.get(keys[idx]) if resume else None
-                if payload is not None:
-                    choices_by_idx[idx] = choice_from_payload(
-                        payload, spg, platform, order=heuristics
-                    )
-                else:
-                    misses.append(idx)
-            batch = len(misses) if not checkpoint else max(1, checkpoint)
-            for lo in range(0, len(misses), max(1, batch)):
-                chunk = misses[lo : lo + max(1, batch)]
-                for idx, res in zip(chunk, execute(chunk)):
+        with trace_span(
+            "sweep.run", cells=len(selected), solvers=len(heuristics)
+        ):
+            if store is None:
+                for idx, res in zip(selected, execute(selected)):
                     if isinstance(res, TaskFailure):
+                        inc("sweep.cells_failed")
                         failed_by_idx[idx] = res
-                        continue
-                    store.put(
-                        keys[idx], choice_to_payload(res),
-                        kind="sweep-cell",
+                    else:
+                        inc("sweep.cells_computed")
+                        choices_by_idx[idx] = res
+            else:
+                keys: dict[int, str] = {}
+                misses: list[int] = []
+                for idx in selected:
+                    spg, platform, _h, hseed, _o = tasks[idx]
+                    keys[idx] = cell_fingerprint(
+                        spg, platform, heuristics, hseed, options
                     )
-                    choices_by_idx[idx] = res
+                    # A corrupt stored row is quarantined inside get() and
+                    # reads as a miss, so the cell is recomputed here.
+                    payload = store.get(keys[idx]) if resume else None
+                    if payload is not None:
+                        inc("sweep.cells_resumed")
+                        choices_by_idx[idx] = choice_from_payload(
+                            payload, spg, platform, order=heuristics
+                        )
+                    else:
+                        misses.append(idx)
+                batch = len(misses) if not checkpoint else max(1, checkpoint)
+                for lo in range(0, len(misses), max(1, batch)):
+                    chunk = misses[lo : lo + max(1, batch)]
+                    for idx, res in zip(chunk, execute(chunk)):
+                        if isinstance(res, TaskFailure):
+                            inc("sweep.cells_failed")
+                            failed_by_idx[idx] = res
+                            continue
+                        store.put(
+                            keys[idx], choice_to_payload(res),
+                            kind="sweep-cell",
+                        )
+                        inc("sweep.cells_computed")
+                        choices_by_idx[idx] = res
     finally:
         if own_store:
             store.close()

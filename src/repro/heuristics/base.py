@@ -102,6 +102,9 @@ def run(
     stage — ``run("DPA2D1D", p, refine=True)`` and
     ``run("dpa2d1d+refine", p)`` are bit-identical; prefer the spec.
     """
+    from time import perf_counter
+
+    from repro.obs.session import inc, observe, trace_span
     from repro.solvers import solver_for_run
 
     solver = solver_for_run(
@@ -109,7 +112,13 @@ def run(
         refine_schedule=refine_schedule,
         refine_allow_general=refine_allow_general,
     )
-    res = solver.solve(problem, rng=rng)
+    t0 = perf_counter()
+    with trace_span("solver.run", solver=name):
+        res = solver.solve(problem, rng=rng)
+    inc("solver.runs")
+    if res.mapping is None:
+        inc("solver.failures")
+    observe("solver.duration_s", perf_counter() - t0)
     return HeuristicResult(
         name, res.mapping, res.energy, res.failure, stats=res.stats
     )

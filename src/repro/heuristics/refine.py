@@ -40,6 +40,7 @@ from repro.core.errors import HeuristicFailure
 from repro.core.evaluate import energy, is_period_feasible
 from repro.core.mapping import Mapping
 from repro.core.problem import ProblemInstance
+from repro.obs.session import inc, trace_span
 from repro.util.rng import as_rng
 
 __all__ = [
@@ -379,28 +380,37 @@ def refine_mapping(
             raise ValueError(
                 "the rebuild reference engine only supports schedule='first'"
             )
-        return refine_mapping_rebuild(
-            problem, mapping, rng=rng, sweeps=sweeps,
-            allow_general=allow_general, log=log,
-        )
+        inc("refine.runs")
+        with trace_span(
+            "refine.run", schedule=schedule, engine=engine, sweeps=sweeps
+        ):
+            return refine_mapping_rebuild(
+                problem, mapping, rng=rng, sweeps=sweeps,
+                allow_general=allow_general, log=log,
+            )
     if engine != "delta":
         raise ValueError(f"unknown engine {engine!r}; pick 'delta' or 'rebuild'")
 
-    rng = as_rng(rng)
-    initial_e = energy(mapping, problem.period).total
-    state = DeltaState(
-        problem, mapping, require_dag_partition=not allow_general
-    )
-    if schedule == "first":
-        strategy = _FirstImprovement(state, initial_e, log)
-    elif schedule == "best":
-        strategy = _BestImprovement(state, initial_e, log)
-    else:
-        strategy = _Anneal(
-            state, initial_e, log, rng, anneal_t0, anneal_decay
+    inc("refine.runs")
+    with trace_span(
+        "refine.run", schedule=schedule, engine=engine, sweeps=sweeps
+    ):
+        rng = as_rng(rng)
+        initial_e = energy(mapping, problem.period).total
+        state = DeltaState(
+            problem, mapping, require_dag_partition=not allow_general
         )
-    _run_schedule(problem, state, strategy, rng, sweeps)
-    return strategy.result(problem, mapping)
+        if schedule == "first":
+            strategy = _FirstImprovement(state, initial_e, log)
+        elif schedule == "best":
+            strategy = _BestImprovement(state, initial_e, log)
+        else:
+            strategy = _Anneal(
+                state, initial_e, log, rng, anneal_t0, anneal_decay
+            )
+        _run_schedule(problem, state, strategy, rng, sweeps)
+        inc("refine.moves_accepted", strategy.accepted)
+        return strategy.result(problem, mapping)
 
 
 def refined(

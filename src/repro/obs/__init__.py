@@ -1,0 +1,95 @@
+"""Zero-dependency observability: span tracing, metrics, profiling.
+
+The ROADMAP's service and store-eviction work both need measurement —
+where a sweep spends its time, which pipeline stage dominates, whether
+the store is actually hitting.  This package provides it in three
+strictly **out-of-band** layers (canonical reports, fingerprints and
+golden fixtures are byte-identical whether observability is on or off,
+for any ``jobs``/shard/resume combination — CI ``cmp``-enforces it):
+
+* **Span tracing** (:mod:`repro.obs.trace`): hierarchical
+  ``trace_span("sweep.cell", **attrs)`` context managers with
+  monotonic-clock durations, parent/child ids and a JSONL sink,
+  instrumented through solver runs, pipeline/portfolio stages,
+  refinement, sweep cells, store ``get``/``put`` and service requests.
+  ``repro trace summarize out.jsonl`` aggregates a recording into a
+  per-kind count/total/p50/p99 table.
+* **Metrics** (:mod:`repro.obs.metrics`): counters, gauges and
+  fixed-bucket histograms (``store.hits``, ``solver.duration_s``,
+  ``sweep.cells_failed``, ...) that aggregate deterministically and
+  jobs-invariantly — pool workers buffer events locally and the parent
+  merges them in task-index order.
+* **Profiling** (:mod:`repro.obs.profile`): opt-in per-worker
+  ``cProfile`` dumps via ``REPRO_PROFILE``/``--profile DIR``.
+
+Everything is a no-op (one attribute check) until a session is
+installed — via :func:`observability`, the CLI's ``--trace``/
+``--metrics`` flags, or the ``REPRO_TRACE`` environment variable.
+"""
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.profile import PROFILE_ENV, maybe_profile, profile_dir
+from repro.obs.session import (
+    ObsSession,
+    absorb,
+    active,
+    active_metrics,
+    active_tracer,
+    capture,
+    capture_config,
+    event,
+    inc,
+    observe,
+    observability,
+    set_gauge,
+    trace_span,
+)
+from repro.obs.summarize import (
+    render_metrics,
+    render_trace_summary,
+    summarize_spans,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    load_trace,
+    span_from_payload,
+    span_to_payload,
+)
+
+__all__ = [
+    # trace
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "load_trace",
+    "span_to_payload",
+    "span_from_payload",
+    # metrics
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    # session
+    "ObsSession",
+    "observability",
+    "active",
+    "active_metrics",
+    "active_tracer",
+    "trace_span",
+    "event",
+    "inc",
+    "observe",
+    "set_gauge",
+    "capture_config",
+    "capture",
+    "absorb",
+    # profiling
+    "PROFILE_ENV",
+    "maybe_profile",
+    "profile_dir",
+    # summaries
+    "summarize_spans",
+    "render_trace_summary",
+    "render_metrics",
+]

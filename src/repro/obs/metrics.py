@@ -1,0 +1,219 @@
+"""A deterministic metrics registry: counters, gauges, histograms.
+
+The registry is deliberately minimal and **deterministic**:
+
+* **Counters** are exact integer/float accumulators (``store.hits``,
+  ``sweep.cells_failed``); incrementing is commutative, so the same
+  events produce the same totals whatever order workers finish in.
+* **Gauges** are last-write-wins point-in-time values.
+* **Histograms** have *fixed* bucket boundaries chosen at creation
+  (defaulting to log-spaced second scales), so two registries observing
+  the same values always bucket them identically and can be merged
+  bucket by bucket.
+
+**Jobs invariance.**  The parallel engine has every pool worker buffer
+its task's metric events in a local registry, ships the buffer back
+with the task result, and merges the buffers into the parent registry
+in *task-index order* (see ``repro.experiments.parallel.run_tasks``).
+A serial run records the same per-task events directly, also in task
+order — so count aggregates are identical for any ``jobs`` value, and
+even float accumulation happens in one canonical order.
+
+Wall-clock *values* (histogram sums of durations) naturally vary run to
+run; :meth:`MetricsRegistry.counts` exposes the deterministic view —
+counter totals and per-histogram observation counts — which the test
+battery pins across ``jobs``/shard/resume patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram boundaries: log-spaced second scales.  A value v
+#: lands in the first bucket whose boundary is >= v; values above the
+#: last boundary land in the implicit +inf bucket.
+DEFAULT_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram with exact count/sum/min/max."""
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(float(b) for b in self.buckets)
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+        elif len(self.counts) != len(self.buckets) + 1:
+            raise ValueError("counts must have len(buckets) + 1 entries")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        i = 0
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                break
+        else:
+            i = len(self.buckets)
+        self.counts[i] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets "
+                f"({self.buckets} vs {other.buckets})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(
+                self.min, other.min
+            )
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(
+                self.max, other.max
+            )
+
+    def to_payload(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "Histogram":
+        return Histogram(
+            buckets=tuple(payload["buckets"]),
+            counts=list(payload["counts"]),
+            count=int(payload["count"]),
+            total=float(payload["total"]),
+            min=payload["min"],
+            max=payload["max"],
+        )
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms (see the module docstring)."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    # -- recording ------------------------------------------------------
+    def inc(self, name: str, n: "int | float" = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(
+        self, name: str, value: float, buckets: tuple | None = None
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``buckets`` fixes the boundaries when the histogram is first
+        created; later calls must agree (or omit them).
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(
+                buckets=buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        elif buckets is not None and tuple(
+            float(b) for b in buckets
+        ) != hist.buckets:
+            raise ValueError(
+                f"histogram {name!r} already exists with different buckets"
+            )
+        hist.observe(value)
+
+    # -- merging --------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry, in sorted-name order (so
+        float accumulation is canonical whatever dict fill order the
+        sources had)."""
+        for name in sorted(other.counters):
+            self.inc(name, other.counters[name])
+        for name in sorted(other.gauges):
+            self.set_gauge(name, other.gauges[name])
+        for name in sorted(other.histograms):
+            theirs = other.histograms[name]
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = Histogram.from_payload(
+                    theirs.to_payload()
+                )
+            else:
+                mine.merge(theirs)
+
+    def merge_payload(self, payload: dict) -> None:
+        """Fold a :meth:`to_payload` blob (a pool worker's shipped
+        buffer) into this registry."""
+        other = MetricsRegistry.from_payload(payload)
+        self.merge(other)
+
+    # -- export ---------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_payload()
+                for k in sorted(self.histograms)
+            },
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "MetricsRegistry":
+        reg = MetricsRegistry()
+        reg.counters = dict(payload.get("counters", {}))
+        reg.gauges = dict(payload.get("gauges", {}))
+        reg.histograms = {
+            k: Histogram.from_payload(v)
+            for k, v in payload.get("histograms", {}).items()
+        }
+        return reg
+
+    def snapshot(self) -> dict:
+        """The full JSON-able state, deterministically key-sorted."""
+        return self.to_payload()
+
+    def counts(self) -> dict:
+        """The deterministic view: counter totals plus per-histogram
+        observation counts (never timing-dependent values) — what the
+        determinism battery compares across ``jobs``/shard/resume."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "observations": {
+                k: self.histograms[k].count
+                for k in sorted(self.histograms)
+            },
+        }

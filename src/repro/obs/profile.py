@@ -1,0 +1,59 @@
+"""Opt-in ``cProfile`` hooks for the CLI and pool workers.
+
+Setting the ``REPRO_PROFILE`` environment variable to a directory (or
+passing ``--profile DIR`` on the CLI, which sets it) arms
+:func:`maybe_profile`: the wrapped block runs under ``cProfile`` and
+dumps a ``<tag>-<pid>-<seq>.pstats`` file into the directory.  The
+environment variable is inherited by pool workers, so a profiled sweep
+leaves one dump per executed chunk alongside the parent's — load them
+with ``pstats.Stats`` (``python -m pstats DIR/worker-*.pstats``) or
+merge with ``Stats.add``.
+
+Profiling is strictly additive: it never touches task payloads,
+results or reports, and when the variable is unset the wrapper costs
+one environment lookup.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["PROFILE_ENV", "maybe_profile", "profile_dir"]
+
+#: Environment variable naming the profile-dump directory.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Per-process dump sequence (several chunks run in one worker).
+_SEQ = 0
+
+
+def profile_dir() -> Path | None:
+    """The armed profile directory, if any."""
+    value = os.environ.get(PROFILE_ENV)
+    return Path(value) if value else None
+
+
+@contextmanager
+def maybe_profile(tag: str):
+    """Profile the block into ``$REPRO_PROFILE/<tag>-<pid>-<seq>.pstats``
+    when armed; a transparent no-op otherwise."""
+    target = profile_dir()
+    if target is None:
+        yield None
+        return
+    import cProfile
+
+    global _SEQ
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        _SEQ += 1
+        target.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(
+            target / f"{tag}-{os.getpid()}-{_SEQ}.pstats"
+        )

@@ -1,0 +1,245 @@
+"""The process-global observability session and its cheap front doors.
+
+Instrumentation points throughout the library call the module-level
+helpers — :func:`trace_span`, :func:`event`, :func:`inc`,
+:func:`observe`, :func:`set_gauge` — which are **no-ops costing one
+attribute check** unless an :class:`ObsSession` is active.  Golden
+fixtures and ``cmp``-based CI checks pin that enabling a session never
+changes any canonical output.
+
+A session is installed with :func:`observability`::
+
+    with observability(trace="out.jsonl") as session:
+        run_scenario_sweep(...)
+    # out.jsonl written at exit; session.metrics holds the aggregates
+
+**Pool workers.**  Worker processes start without a session.  The
+parallel engine asks the parent for a :func:`capture_config`, ships it
+inside each chunk payload, and wraps every task in :func:`capture` — a
+fresh buffering session whose spans and metrics are exported with the
+task result.  Back in the parent, :func:`absorb` folds those buffers
+into the active session *in task-index order*, which makes metric
+aggregates identical for any ``jobs`` value (a serial run records the
+same per-task events directly, in the same order).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "ObsSession",
+    "observability",
+    "active",
+    "active_metrics",
+    "active_tracer",
+    "trace_span",
+    "event",
+    "inc",
+    "observe",
+    "set_gauge",
+    "capture_config",
+    "capture",
+    "absorb",
+]
+
+
+class ObsSession:
+    """One observability scope: an optional tracer plus a registry.
+
+    ``trace`` may be a path (the JSONL sink, written at :meth:`finish`)
+    or ``True`` (trace in memory only); ``metrics=False`` drops the
+    registry for trace-only sessions.
+    """
+
+    def __init__(
+        self,
+        trace: "str | Path | bool | None" = None,
+        metrics: bool = True,
+    ) -> None:
+        self.trace_path = (
+            Path(trace) if isinstance(trace, (str, Path)) else None
+        )
+        self.tracer = Tracer() if trace else None
+        self.metrics = MetricsRegistry() if metrics else None
+
+    def finish(self) -> None:
+        """Flush the trace sink (called automatically at session exit)."""
+        if self.tracer is not None and self.trace_path is not None:
+            self.tracer.write_jsonl(self.trace_path)
+
+
+#: The active session (installed by :func:`observability` /
+#: :func:`capture`); module-level so the fast path is one global read.
+_ACTIVE: ObsSession | None = None
+
+
+def active() -> ObsSession | None:
+    """The active session, if any."""
+    return _ACTIVE
+
+
+def active_metrics() -> MetricsRegistry | None:
+    s = _ACTIVE
+    return s.metrics if s is not None else None
+
+
+def active_tracer() -> Tracer | None:
+    s = _ACTIVE
+    return s.tracer if s is not None else None
+
+
+@contextmanager
+def observability(
+    trace: "str | Path | bool | None" = None, metrics: bool = True
+):
+    """Install an :class:`ObsSession` for the duration of the block.
+
+    Sessions nest (the previous one is restored on exit); the trace
+    sink, when a path was given, is written on exit even if the block
+    raised — a failed sweep's trace is exactly when you want the file.
+    """
+    global _ACTIVE
+    session = ObsSession(trace=trace, metrics=metrics)
+    previous = _ACTIVE
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous
+        session.finish()
+
+
+# ----------------------------------------------------------------------
+# Cheap instrumentation front doors
+# ----------------------------------------------------------------------
+class _NullSpan:
+    """Shared no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def trace_span(kind: str, /, **attrs):
+    """A context manager recording one span (no-op when disabled)."""
+    s = _ACTIVE
+    if s is None or s.tracer is None:
+        return _NULL_SPAN
+    return s.tracer.span(kind, attrs)
+
+
+def event(kind: str, /, **attrs) -> None:
+    """Record an instantaneous event span (no-op when disabled)."""
+    s = _ACTIVE
+    if s is not None and s.tracer is not None:
+        s.tracer.event(kind, attrs)
+
+
+def inc(name: str, n: "int | float" = 1) -> None:
+    """Increment counter ``name`` (no-op when disabled)."""
+    s = _ACTIVE
+    if s is not None and s.metrics is not None:
+        s.metrics.inc(name, n)
+
+
+def observe(name: str, value: float, buckets: tuple | None = None) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    s = _ACTIVE
+    if s is not None and s.metrics is not None:
+        s.metrics.observe(name, value, buckets=buckets)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op when disabled)."""
+    s = _ACTIVE
+    if s is not None and s.metrics is not None:
+        s.metrics.set_gauge(name, value)
+
+
+# ----------------------------------------------------------------------
+# Worker capture (the parallel engine's telemetry shipping)
+# ----------------------------------------------------------------------
+def capture_config() -> dict | None:
+    """A picklable description of what the active session records —
+    ``None`` when observability is off, so task payloads are unchanged
+    and workers skip the capture machinery entirely."""
+    s = _ACTIVE
+    if s is None:
+        return None
+    return {
+        "trace": s.tracer is not None,
+        "metrics": s.metrics is not None,
+    }
+
+
+class _Capture:
+    """Handle yielded by :func:`capture`; :meth:`export` after the block
+    returns the picklable telemetry blob to ship to the parent."""
+
+    def __init__(self, session: ObsSession) -> None:
+        self._session = session
+
+    def export(self) -> dict:
+        return {
+            "spans": (
+                self._session.tracer.export()
+                if self._session.tracer is not None else []
+            ),
+            "metrics": (
+                self._session.metrics.to_payload()
+                if self._session.metrics is not None else None
+            ),
+        }
+
+
+@contextmanager
+def capture(config: dict):
+    """Run a block under a fresh buffering session (pool-worker side).
+
+    The temporary session replaces any active one for the duration of
+    the block, so the block's instrumentation lands in the buffer — in
+    the parent process this is exactly how the serial path and the pool
+    path stay equivalent: the same events are recorded either way, only
+    the route back to the session differs.
+    """
+    global _ACTIVE
+    session = ObsSession(
+        trace=bool(config.get("trace")),
+        metrics=bool(config.get("metrics")),
+    )
+    previous = _ACTIVE
+    _ACTIVE = session
+    try:
+        yield _Capture(session)
+    finally:
+        _ACTIVE = previous
+
+
+def absorb(blob: dict | None) -> None:
+    """Fold a worker's exported telemetry blob into the active session.
+
+    Callers are responsible for absorbing blobs in task-index order —
+    that ordering is what makes the merged aggregates independent of
+    worker scheduling.
+    """
+    if blob is None:
+        return
+    s = _ACTIVE
+    if s is None:
+        return
+    if s.tracer is not None and blob.get("spans"):
+        s.tracer.absorb(blob["spans"])
+    if s.metrics is not None and blob.get("metrics") is not None:
+        s.metrics.merge_payload(blob["metrics"])

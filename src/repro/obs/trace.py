@@ -1,0 +1,246 @@
+"""Hierarchical span tracing with a JSONL sink.
+
+A :class:`Tracer` records **spans** — named, attributed intervals with
+monotonic-clock durations and parent/child links — into an in-process
+buffer that is flushed to one JSON-Lines file at session exit (see
+:mod:`repro.obs.session`).  Spans nest through an explicit stack: the
+span open when a new one starts becomes its parent, so a traced sweep
+reads as a tree (``sweep.run`` > ``sweep.cell`` > ``solver.run`` >
+``refine.run`` > ...).
+
+Tracing is strictly **out of band**: nothing a span records — ids,
+timestamps, durations — ever feeds back into solver decisions, reports
+or fingerprints, so a traced run's canonical outputs are byte-identical
+to an untraced run's.
+
+The JSONL schema (``TRACE_SCHEMA_VERSION``):
+
+* line 1 — a meta record ``{"trace_schema": 1, "repro_version": ...}``;
+* every other line — one span::
+
+      {"span": <int id>, "parent": <int id or null>, "kind": "...",
+       "ts": <wall-clock start>, "duration_s": <monotonic duration>,
+       "status": "ok" | "error" | "event", "attrs": {...}}
+
+Span ids are unique and contiguous within one trace; spans shipped back
+from pool workers are re-identified on absorption (see
+:meth:`Tracer.absorb`), so a merged trace is still a single consistent
+tree.  Spans are buffered in *close* order (children before parents),
+which keeps the file append-only and deterministic for a deterministic
+control flow.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.io import atomic_write_text
+from repro.util.version import repro_version
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "span_to_payload",
+    "span_from_payload",
+    "load_trace",
+]
+
+#: Version of the JSONL span layout; bump on any structural change.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Span:
+    """One finished (or instantaneous) span."""
+
+    span_id: int
+    parent_id: int | None
+    kind: str
+    ts: float  # wall-clock start (time.time), for humans only
+    duration_s: float  # monotonic-clock duration
+    status: str = "ok"  # "ok" | "error" | "event"
+    attrs: dict = field(default_factory=dict)
+
+
+def span_to_payload(span: Span) -> dict:
+    return {
+        "span": span.span_id,
+        "parent": span.parent_id,
+        "kind": span.kind,
+        "ts": span.ts,
+        "duration_s": span.duration_s,
+        "status": span.status,
+        "attrs": span.attrs,
+    }
+
+
+def span_from_payload(payload: dict) -> Span:
+    return Span(
+        span_id=int(payload["span"]),
+        parent_id=(
+            None if payload["parent"] is None else int(payload["parent"])
+        ),
+        kind=str(payload["kind"]),
+        ts=float(payload["ts"]),
+        duration_s=float(payload["duration_s"]),
+        status=str(payload["status"]),
+        attrs=dict(payload["attrs"]),
+    )
+
+
+class _OpenSpan:
+    """Context manager for one in-flight span (returned by
+    :meth:`Tracer.span`); re-entry is not supported."""
+
+    __slots__ = ("_tracer", "_span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._t0 = time.perf_counter()
+        self._tracer._stack.append(self._span.span_id)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.duration_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self._span.status = "error"
+        self._tracer._stack.pop()
+        self._tracer.spans.append(self._span)
+        return False  # never swallow
+
+
+class Tracer:
+    """An in-process span buffer (one per observability session)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    # -- recording ------------------------------------------------------
+    def current_id(self) -> int | None:
+        """The id of the innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, kind: str, attrs: dict | None = None) -> _OpenSpan:
+        """Open a span; use as a context manager."""
+        sid = self._next_id
+        self._next_id += 1
+        return _OpenSpan(self, Span(
+            span_id=sid,
+            parent_id=self.current_id(),
+            kind=kind,
+            ts=time.time(),
+            duration_s=0.0,
+            attrs=dict(attrs or {}),
+        ))
+
+    def event(self, kind: str, attrs: dict | None = None) -> Span:
+        """Record an instantaneous event (a zero-duration span)."""
+        sid = self._next_id
+        self._next_id += 1
+        span = Span(
+            span_id=sid,
+            parent_id=self.current_id(),
+            kind=kind,
+            ts=time.time(),
+            duration_s=0.0,
+            status="event",
+            attrs=dict(attrs or {}),
+        )
+        self.spans.append(span)
+        return span
+
+    # -- merging (pool workers ship serialized spans back) --------------
+    def absorb(self, payloads: list[dict]) -> None:
+        """Merge spans exported by another tracer (a pool worker's
+        per-task buffer) into this one.
+
+        Ids are remapped onto this tracer's sequence; parent links
+        *within* the batch are preserved, and the batch's top-level
+        spans are adopted by the span currently open here — so a
+        worker's ``sweep.cell`` subtree hangs off the parent's
+        ``sweep.run`` exactly as it would have serially.
+        """
+        remap: dict[int, int] = {}
+        adopt = self.current_id()
+        for payload in payloads:
+            span = span_from_payload(payload)
+            new_id = self._next_id
+            self._next_id += 1
+            remap[span.span_id] = new_id
+            span.span_id = new_id
+            if span.parent_id is None:
+                span.parent_id = adopt
+            else:
+                # Children are buffered before their parents, so a
+                # child's parent may not be remapped yet; resolve in a
+                # second pass below.
+                span.parent_id = -span.parent_id
+            self.spans.append(span)
+        for span in self.spans[-len(payloads):]:
+            if span.parent_id is not None and span.parent_id < 0:
+                span.parent_id = remap.get(-span.parent_id, adopt)
+
+    # -- export ---------------------------------------------------------
+    def export(self) -> list[dict]:
+        """All buffered spans as JSON payloads (buffer order)."""
+        return [span_to_payload(s) for s in self.spans]
+
+    def to_jsonl(self) -> str:
+        """The full JSONL document (meta line + one line per span)."""
+        lines = [json.dumps(
+            {
+                "trace_schema": TRACE_SCHEMA_VERSION,
+                "repro_version": repro_version(),
+                "spans": len(self.spans),
+            },
+            sort_keys=True,
+        )]
+        lines.extend(
+            json.dumps(p, sort_keys=True) for p in self.export()
+        )
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path: "str | Path") -> Path:
+        """Atomically write the trace to ``path``."""
+        return atomic_write_text(path, self.to_jsonl())
+
+
+def load_trace(source: "str | Path") -> tuple[dict, list[Span]]:
+    """Parse a JSONL trace file into ``(meta, spans)``.
+
+    Lines that are not valid span records raise ``ValueError`` with the
+    offending line number; a missing meta line is tolerated (``meta``
+    comes back empty) so concatenated traces still summarize.
+    """
+    meta: dict = {}
+    spans: list[Span] = []
+    with open(source) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{source}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            if "trace_schema" in payload:
+                meta = payload
+                continue
+            try:
+                spans.append(span_from_payload(payload))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{source}:{lineno}: not a span record: {exc!r}"
+                ) from None
+    return meta, spans

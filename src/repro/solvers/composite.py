@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 
 from repro.core.errors import ReproError
+from repro.obs.session import trace_span
 from repro.solvers.base import (
     Solver,
     SolverResult,
@@ -70,7 +71,10 @@ class PipelineSolver(Solver):
         res = upstream
         stage_stats: list[dict] = []
         for stage in self.stages:
-            res = stage.solve(problem, rng=rng, upstream=res)
+            with trace_span(
+                "solver.stage", stage=stage.spec, pipeline=self.spec
+            ):
+                res = stage.solve(problem, rng=rng, upstream=res)
             stage_stats.append({
                 "solver": stage.spec,
                 "ok": res.ok,
@@ -107,13 +111,14 @@ def portfolio_member_task(task) -> SolverResult:
     exceptions still propagate as genuine bugs.
     """
     solver, problem, seed = task
-    try:
-        return solver.solve(problem, rng=as_rng(seed))
-    except ReproError as exc:
-        return SolverResult(
-            solver.spec, None, None,
-            failure=f"{type(exc).__name__}: {exc}",
-        )
+    with trace_span("solver.member", solver=solver.spec):
+        try:
+            return solver.solve(problem, rng=as_rng(seed))
+        except ReproError as exc:
+            return SolverResult(
+                solver.spec, None, None,
+                failure=f"{type(exc).__name__}: {exc}",
+            )
 
 
 class PortfolioSolver(Solver):
@@ -157,10 +162,11 @@ class PortfolioSolver(Solver):
         # Degrade, don't abort: a member lost to a crashed/hung worker
         # (after retries) becomes that member's failure, and the
         # portfolio still returns the best *surviving* mapping.
-        results = run_tasks(
-            portfolio_member_task, tasks, jobs=self.jobs,
-            failures="record", tokens=seeds,
-        )
+        with trace_span("solver.portfolio", members=len(self._solvers)):
+            results = run_tasks(
+                portfolio_member_task, tasks, jobs=self.jobs,
+                failures="record", tokens=seeds,
+            )
         results = [
             SolverResult(
                 self._solvers[i].spec, None, None, failure=r.describe()

@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.core.errors import StoreCorruption
+from repro.obs.session import inc, trace_span
 from repro.resilience.faults import FaultPlan
 from repro.store.serialize import PAYLOAD_SCHEMA_VERSION
 from repro.util.version import repro_version
@@ -93,7 +94,6 @@ class ResultStore(ABC):
     session_quarantined: list[str]
 
     # -- required primitives -------------------------------------------
-    @abstractmethod
     def put(self, key: str, payload: dict, kind: str = "result") -> None:
         """File ``payload`` under ``key`` (replacing any previous entry).
 
@@ -101,6 +101,13 @@ class ResultStore(ABC):
         (defaulting to the current :data:`PAYLOAD_SCHEMA_VERSION`); the
         row records the sha256 checksum of the serialised text.
         """
+        with trace_span("store.put", kind=kind):
+            self._put(key, payload, kind)
+        inc("store.puts")
+
+    @abstractmethod
+    def _put(self, key: str, payload: dict, kind: str) -> None:
+        """Backend write primitive behind :meth:`put`."""
 
     @abstractmethod
     def delete(self, keys: Iterable[str]) -> int:
@@ -140,6 +147,22 @@ class ResultStore(ABC):
         """Release any underlying resources (no-op by default); safe to
         call twice and from error paths."""
 
+    # -- access accounting (operator telemetry, never canonical) -------
+    @abstractmethod
+    def _record_hit(self, key: str) -> None:
+        """Bump the per-row and aggregate hit counters for ``key``."""
+
+    @abstractmethod
+    def _record_miss(self) -> None:
+        """Bump the aggregate miss counter."""
+
+    @abstractmethod
+    def access_stats(self) -> dict:
+        """Lifetime read accounting: ``{hits, misses, rows_never_hit,
+        last_hit_at}`` (persistent for SQLite stores, per-instance for
+        memory stores).  Excluded from :meth:`export` and :meth:`rows`
+        so snapshots stay deterministic."""
+
     # -- integrity ------------------------------------------------------
     def get(self, key: str, on_corrupt: str = "quarantine") -> dict | None:
         """The payload filed under ``key``, or ``None``.
@@ -149,18 +172,35 @@ class ResultStore(ABC):
         aside and returns ``None`` — the caller recomputes, exactly as
         for a miss; ``"raise"`` surfaces the typed
         :class:`StoreCorruption` instead.
+
+        Every call is counted: hits bump the row's persistent ``hits``/
+        ``last_hit_at`` accounting and the aggregate hit counter, misses
+        (including quarantined corrupt rows) the aggregate miss counter
+        — surfaced by ``repro store stats`` and the ``store.hits``/
+        ``store.misses`` session metrics.
         """
-        found = self._fetch_text(key)
-        if found is None:
-            return None
-        text, checksum = found
-        try:
-            return _parse_verified(key, text, checksum)
-        except StoreCorruption as exc:
-            if on_corrupt == "raise":
-                raise
-            self.quarantine(key, exc.reason)
-            return None
+        with trace_span("store.get") as sp:
+            found = self._fetch_text(key)
+            if found is None:
+                result = None
+            else:
+                text, checksum = found
+                try:
+                    result = _parse_verified(key, text, checksum)
+                except StoreCorruption as exc:
+                    if on_corrupt == "raise":
+                        raise
+                    self.quarantine(key, exc.reason)
+                    result = None
+            if sp is not None:
+                sp.attrs["hit"] = result is not None
+        if result is not None:
+            self._record_hit(key)
+            inc("store.hits")
+        else:
+            self._record_miss()
+            inc("store.misses")
+        return result
 
     @abstractmethod
     def _fetch_text(self, key: str) -> tuple[str, str | None] | None:
@@ -228,6 +268,7 @@ class ResultStore(ABC):
             "stale": stale,
             "quarantined": len(self.quarantined()),
             "current_schema": PAYLOAD_SCHEMA_VERSION,
+            "access": self.access_stats(),
         }
 
     def gc(self, kind: str | None = None, drop_all: bool = False) -> int:
@@ -284,10 +325,11 @@ class MemoryStore(ResultStore):
         self._rows: dict[str, dict] = {}
         self._quarantine: dict[str, dict] = {}
         self._faults = faults
+        self._access = {"hits": 0, "misses": 0}
         self.location = ":memory:"
         self.session_quarantined = []
 
-    def put(self, key: str, payload: dict, kind: str = "result") -> None:
+    def _put(self, key: str, payload: dict, kind: str) -> None:
         text = json.dumps(payload, sort_keys=True)
         checksum = payload_checksum(text)
         if self._faults is not None and self._faults.corrupt_put(key):
@@ -298,6 +340,33 @@ class MemoryStore(ResultStore):
             "version": repro_version(),
             "payload": text,
             "checksum": checksum,
+            "hits": 0,
+            "last_hit_at": None,
+        }
+
+    def _record_hit(self, key: str) -> None:
+        row = self._rows.get(key)
+        if row is not None:
+            row["hits"] += 1
+            row["last_hit_at"] = time.time()
+        self._access["hits"] += 1
+
+    def _record_miss(self) -> None:
+        self._access["misses"] += 1
+
+    def access_stats(self) -> dict:
+        last = [
+            row["last_hit_at"]
+            for row in self._rows.values()
+            if row["last_hit_at"] is not None
+        ]
+        return {
+            "hits": self._access["hits"],
+            "misses": self._access["misses"],
+            "rows_never_hit": sum(
+                1 for row in self._rows.values() if row["hits"] == 0
+            ),
+            "last_hit_at": max(last) if last else None,
         }
 
     def _fetch_text(self, key: str) -> tuple[str, str | None] | None:
@@ -380,7 +449,9 @@ class SQLiteStore(ResultStore):
                         version TEXT NOT NULL,
                         created_at REAL NOT NULL,
                         payload TEXT NOT NULL,
-                        checksum TEXT
+                        checksum TEXT,
+                        hits INTEGER NOT NULL DEFAULT 0,
+                        last_hit_at REAL
                     )
                     """
                 )
@@ -393,6 +464,25 @@ class SQLiteStore(ResultStore):
                     self._conn.execute(
                         "ALTER TABLE results ADD COLUMN checksum TEXT"
                     )
+                # Pre-observability stores gain the read-accounting
+                # columns in place; legacy rows start at zero hits.
+                if "hits" not in cols:
+                    self._conn.execute(
+                        "ALTER TABLE results ADD COLUMN "
+                        "hits INTEGER NOT NULL DEFAULT 0"
+                    )
+                if "last_hit_at" not in cols:
+                    self._conn.execute(
+                        "ALTER TABLE results ADD COLUMN last_hit_at REAL"
+                    )
+                self._conn.execute(
+                    """
+                    CREATE TABLE IF NOT EXISTS access_stats (
+                        name TEXT PRIMARY KEY,
+                        value INTEGER NOT NULL
+                    )
+                    """
+                )
                 self._conn.execute(
                     """
                     CREATE TABLE IF NOT EXISTS quarantine (
@@ -420,7 +510,7 @@ class SQLiteStore(ResultStore):
             raise RuntimeError(f"store {self.location} is closed")
         return self._conn
 
-    def put(self, key: str, payload: dict, kind: str = "result") -> None:
+    def _put(self, key: str, payload: dict, kind: str) -> None:
         text = json.dumps(payload, sort_keys=True)
         checksum = payload_checksum(text)
         if self._faults is not None and self._faults.corrupt_put(key):
@@ -447,6 +537,42 @@ class SQLiteStore(ResultStore):
         )
         row = cur.fetchone()
         return None if row is None else (row[0], row[1])
+
+    def _bump_access(self, conn, name: str) -> None:
+        conn.execute(
+            "INSERT INTO access_stats (name, value) VALUES (?, 1) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + 1",
+            (name,),
+        )
+
+    def _record_hit(self, key: str) -> None:
+        with self._db() as conn:
+            conn.execute(
+                "UPDATE results SET hits = hits + 1, last_hit_at = ? "
+                "WHERE key = ?",
+                (time.time(), key),
+            )
+            self._bump_access(conn, "hits")
+
+    def _record_miss(self) -> None:
+        with self._db() as conn:
+            self._bump_access(conn, "misses")
+
+    def access_stats(self) -> dict:
+        conn = self._db()
+        agg = dict(conn.execute("SELECT name, value FROM access_stats"))
+        never = conn.execute(
+            "SELECT COUNT(*) FROM results WHERE hits = 0"
+        ).fetchone()[0]
+        last = conn.execute(
+            "SELECT MAX(last_hit_at) FROM results"
+        ).fetchone()[0]
+        return {
+            "hits": int(agg.get("hits", 0)),
+            "misses": int(agg.get("misses", 0)),
+            "rows_never_hit": int(never),
+            "last_hit_at": last,
+        }
 
     def _texts(self) -> Iterator[tuple[str, str, str | None]]:
         cur = self._db().execute(

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from repro.core.problem import ProblemInstance
 from repro.experiments.parallel import run_tasks
 from repro.experiments.period import choose_period
+from repro.obs.session import inc, trace_span
 from repro.resilience import (
     ExecutionStats,
     RetryPolicy,
@@ -155,13 +156,14 @@ def load_requests(source: "str | dict | list") -> list[BatchRequest]:
 def _solve_task(task):
     """Worker for one cache miss: derive the period if needed, solve."""
     spg, platform, spec, options, period, seed = task
-    if period is None:
-        period = choose_period(spg, platform, rng=as_rng(seed)).period
-    solver = solver_for_run(spec, options or None)
-    res = solver.solve(
-        ProblemInstance(spg, platform, period), rng=as_rng(seed)
-    )
-    return period, result_to_payload(res)
+    with trace_span("serve.request", solver=spec):
+        if period is None:
+            period = choose_period(spg, platform, rng=as_rng(seed)).period
+        solver = solver_for_run(spec, options or None)
+        res = solver.solve(
+            ProblemInstance(spg, platform, period), rng=as_rng(seed)
+        )
+        return period, result_to_payload(res)
 
 
 def serve_batch(
@@ -199,6 +201,12 @@ def serve_batch(
 
 def _serve_batch(store: ResultStore, requests, jobs, policy, plan,
                  stats) -> dict:
+    with trace_span("serve.batch", requests=len(requests)):
+        return _serve_batch_inner(store, requests, jobs, policy, plan,
+                                  stats)
+
+
+def _serve_batch_inner(store, requests, jobs, policy, plan, stats) -> dict:
     keyed = []
     for req in requests:
         spg = req.build_app()
@@ -236,6 +244,7 @@ def _serve_batch(store: ResultStore, requests, jobs, policy, plan,
         if isinstance(outcome, TaskFailure):
             # Not filed: the failure is this run's, not the problem's —
             # a later batch (or a longer deadline) retries the request.
+            inc("serve.errors")
             errors[idx] = outcome
             continue
         period, result = outcome
@@ -247,6 +256,9 @@ def _serve_batch(store: ResultStore, requests, jobs, policy, plan,
         store.put(keyed[idx][3], payload, kind="solve")
         payloads[idx] = payload
 
+    inc("serve.requests", len(requests))
+    inc("serve.hits", len(requests) - len(misses))
+    inc("serve.misses", len(misses))
     miss_set = set(misses)
     responses = []
     for idx, (req, spg, platform, key) in enumerate(keyed):

@@ -356,3 +356,93 @@ class TestServeCommand:
         assert "2 misses" in text
         code, text = run_cli("serve", "--batch", reqs)
         assert "2 misses" in text  # in-memory store: nothing persists
+
+
+class TestObservability:
+    SWEEP = (
+        "sweep", "--topologies", "mesh", "--sizes", "3x3", "--ccr", "10",
+        "--apps", "random-8", "--replicates", "1", "--seed", "1",
+    )
+
+    def test_traced_sweep_report_is_byte_identical(self, tmp_path):
+        plain = tmp_path / "plain.json"
+        traced = tmp_path / "traced.json"
+        trace = tmp_path / "t.jsonl"
+        code, _ = run_cli(*self.SWEEP, "--out", str(plain))
+        assert code == 0
+        code, text = run_cli(
+            *self.SWEEP, "--out", str(traced), "--trace", str(trace),
+            "--metrics",
+        )
+        assert code == 0
+        assert plain.read_bytes() == traced.read_bytes()
+        assert "Session metrics" in text
+        assert f"trace written to {trace}" in text
+
+    def test_trace_summarize(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code, _ = run_cli(*self.SWEEP, "--trace", str(trace))
+        assert code == 0
+        code, text = run_cli("trace", "summarize", str(trace))
+        assert code == 0
+        assert "sweep.cell" in text
+        assert "solver.run" in text
+
+    def test_trace_summarize_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not json\n")
+        code, text = run_cli("trace", "summarize", str(bad))
+        assert code == 2
+        assert "bad trace file" in text
+
+    def test_trace_summarize_missing_file(self, tmp_path):
+        code, text = run_cli(
+            "trace", "summarize", str(tmp_path / "nope.jsonl")
+        )
+        assert code == 2
+
+    def test_stats_json(self, tmp_path):
+        import json as json_mod
+
+        stats = tmp_path / "stats.json"
+        code, text = run_cli(*self.SWEEP, "--stats-json", str(stats))
+        assert code == 0
+        assert f"execution stats written to {stats}" in text
+        doc = json_mod.loads(stats.read_text())
+        assert doc["execution"] == {
+            "retries": 0, "crashes": 0, "timeouts": 0, "respawns": 0,
+            "permanent_failures": 0,
+        }
+        counters = doc["metrics"]["counters"]
+        assert counters["sweep.cells_computed"] == 1
+        assert counters["solver.runs"] > 0
+
+    def test_env_var_arms_tracing(self, tmp_path, monkeypatch):
+        trace = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        code, text = run_cli(*self.SWEEP)
+        assert code == 0
+        assert trace.exists()
+        assert f"trace written to {trace}" in text
+
+    def test_store_stats_reports_access(self, tmp_path):
+        import json as json_mod
+
+        db = str(tmp_path / "cells.sqlite")
+        code, _ = run_cli(*self.SWEEP, "--store", db)
+        assert code == 0
+        code, _ = run_cli(*self.SWEEP, "--store", db, "--resume")
+        assert code == 0
+        code, text = run_cli("store", "stats", "--store", db)
+        assert code == 0
+        stats = json_mod.loads(text)
+        assert stats["access"]["hits"] == 1
+        assert stats["access"]["rows_never_hit"] == 0
+
+    def test_profile_dumps(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        prof = tmp_path / "prof"
+        code, _ = run_cli(*self.SWEEP, "--profile", str(prof))
+        assert code == 0
+        assert list(prof.glob("cli-*.pstats"))
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
