@@ -13,6 +13,15 @@ answered from the store).  The two consolidated reports must serialise
 is expected to beat the cold one by at least 5x (it only pays for
 fingerprinting, deserialisation and the report-path re-validation).
 
+A second, **eviction** subsection replays a deterministic skewed
+access trace (an 80%-hot Zipf-ish mix) against a bounded
+:class:`~repro.store.MemoryStore` (row cap well under the key
+universe) once per registered eviction policy and records the
+resulting hit-rates — the store-level analogue of a cache-replacement
+sweep.  The duelled ``drrip`` policy must match or beat the worse of
+its two static candidates (``rrip``/``brrip``); that is the whole
+point of set-dueling.
+
 The section is merged into ``BENCH_perf_core.json`` under ``"store"``
 via :func:`_common.merge_bench_sections`.
 """
@@ -20,6 +29,7 @@ via :func:`_common.merge_bench_sections`.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 import tempfile
@@ -40,6 +50,68 @@ SWEEP = dict(
 
 #: The acceptance floor for the warm-over-cold speedup.
 TARGET_SPEEDUP = 5.0
+
+#: The bounded-store replay: 400 sha256 keys, a 40-key hot set taking
+#: 80% of 4000 accesses, row cap 60 (hot set fits, universe does not).
+EVICTION = dict(
+    keys=400,
+    hot=40,
+    hot_frac=0.8,
+    accesses=4000,
+    max_rows=60,
+    policies=("lru", "fifo", "rrip", "brrip", "drrip"),
+)
+
+
+def eviction_hit_rates(cfg: dict = EVICTION) -> dict:
+    """Replay the skewed trace once per policy; returns the subsection.
+
+    Every policy sees the *identical* deterministic trace (numpy
+    ``default_rng`` on the benchmark seed; keys are sha256 digests, as
+    in the real store, so DRRIP's region hash sees its native key
+    distribution).  A miss computes nothing — the payload is synthetic
+    — so hit-rate differences are pure replacement-policy signal.
+    """
+    import numpy as np
+
+    from repro.store import LogicalClock, MemoryStore
+
+    universe = [
+        hashlib.sha256(f"bench-eviction-{i}".encode()).hexdigest()
+        for i in range(cfg["keys"])
+    ]
+    hot, cold = universe[: cfg["hot"]], universe[cfg["hot"]:]
+    rng = np.random.default_rng(SWEEP["seed"])
+    is_hot = rng.random(cfg["accesses"]) < cfg["hot_frac"]
+    hot_pick = rng.integers(0, len(hot), cfg["accesses"])
+    cold_pick = rng.integers(0, len(cold), cfg["accesses"])
+    trace = [
+        hot[h] if p else cold[c]
+        for p, h, c in zip(is_hot, hot_pick, cold_pick)
+    ]
+
+    hit_rates: dict[str, float] = {}
+    evictions: dict[str, int] = {}
+    for name in cfg["policies"]:
+        store = MemoryStore(clock=LogicalClock())
+        store.configure_eviction(name, max_rows=cfg["max_rows"])
+        for key in trace:
+            if store.get(key) is None:
+                store.put(key, {"key": key, "pad": "x" * 64},
+                          kind="bench")
+        acc = store.access_stats()
+        hit_rates[name] = acc["hits"] / (acc["hits"] + acc["misses"])
+        evictions[name] = store.eviction_stats()["total"]
+        assert len(store) <= cfg["max_rows"], "cap enforcement failed"
+    duel_floor = min(hit_rates["rrip"], hit_rates["brrip"])
+    return {
+        "settings": {k: list(v) if isinstance(v, tuple) else v
+                     for k, v in cfg.items()},
+        "hit_rates": hit_rates,
+        "evictions": evictions,
+        "duel_floor": duel_floor,
+        "duel_ok": hit_rates["drrip"] >= duel_floor,
+    }
 
 
 def main(argv=None) -> int:
@@ -74,6 +146,7 @@ def main(argv=None) -> int:
 
     outputs_equal = report_json(cold_report) == report_json(warm_report)
     speedup = cold_seconds / warm_seconds
+    eviction = eviction_hit_rates()
     section = {
         "settings": {
             **{k: list(v) if isinstance(v, tuple) else v
@@ -87,6 +160,7 @@ def main(argv=None) -> int:
         "target_speedup": TARGET_SPEEDUP,
         "speedup_ok": speedup >= TARGET_SPEEDUP,
         "outputs_equal": outputs_equal,
+        "eviction": eviction,
     }
 
     out_path = merge_bench_sections({"store": section})
@@ -95,6 +169,14 @@ def main(argv=None) -> int:
     if not outputs_equal:
         print("ERROR: warm sweep report diverged from the cold run",
               file=sys.stderr)
+        return 1
+    if not eviction["duel_ok"]:
+        print(
+            "ERROR: duelled drrip hit-rate "
+            f"{eviction['hit_rates']['drrip']:.3f} fell below the worse "
+            f"static candidate ({eviction['duel_floor']:.3f})",
+            file=sys.stderr,
+        )
         return 1
     if not section["speedup_ok"]:
         print(

@@ -40,7 +40,11 @@ Subcommands
     ``gc`` (purge stale-schema entries, one kind, or everything),
     ``export`` (deterministic JSON snapshot), ``verify`` (audit every
     row's sha256 checksum; ``--quarantine`` moves corrupt rows aside so
-    resumed sweeps recompute them).
+    resumed sweeps recompute them), ``evict`` (bound the store:
+    ``--policy lru|fifo|rrip|brrip|drrip`` with ``--max-rows``/
+    ``--max-bytes``; evicted keys read as misses and are recomputed).
+    Sweeps and the service bound their own store with
+    ``--store-policy``/``--store-max-rows``/``--store-max-bytes``.
 ``serve``
     Batch mapping service: answer a JSON file of solver requests
     through the store — cache hit -> stored result, miss -> compute
@@ -264,6 +268,25 @@ def build_parser() -> argparse.ArgumentParser:
                  "workers inherit via REPRO_PROFILE)",
         )
 
+    def add_bounded_store_args(p):
+        p.add_argument(
+            "--store-policy", metavar="POLICY", default="lru",
+            help="eviction policy bounding --store (lru, fifo, rrip, "
+                 "brrip, drrip; default lru — only active with a cap)",
+        )
+        p.add_argument(
+            "--store-max-rows", type=int, default=None, metavar="N",
+            help="bound --store to N rows: every put over the cap "
+                 "evicts in --store-policy order (evicted cells read "
+                 "as misses and are recomputed — reports stay "
+                 "byte-identical to unbounded runs)",
+        )
+        p.add_argument(
+            "--store-max-bytes", type=int, default=None, metavar="B",
+            help="bound --store to B payload bytes (see "
+                 "--store-max-rows)",
+        )
+
     def add_resilience_args(p):
         p.add_argument(
             "--retries", type=int, default=3, metavar="N",
@@ -341,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--checkpoint", type=int, default=None, metavar="N",
                       help="file computed cells into --store every N "
                            "cells (default: once at the end)")
+    add_bounded_store_args(p_sw)
     add_resilience_args(p_sw)
     add_obs_args(p_sw)
     p_sw.add_argument("--stats-json", metavar="PATH", default=None,
@@ -355,9 +379,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_st = sub.add_parser(
         "store", help="inspect or maintain a result store"
     )
-    p_st.add_argument("action", choices=["stats", "gc", "export", "verify"])
+    p_st.add_argument("action", choices=["stats", "gc", "export", "verify",
+                                         "evict"])
     p_st.add_argument("--store", metavar="PATH", required=True,
                       help="the store to operate on (SQLite path)")
+    p_st.add_argument("--policy", default="lru",
+                      help="evict: the eviction policy ranking victims "
+                           "(lru, fifo, rrip, brrip, drrip; default lru)")
+    p_st.add_argument("--max-rows", type=int, default=None, metavar="N",
+                      help="evict: row-count cap to evict down to")
+    p_st.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                      help="evict: payload-byte cap to evict down to")
     p_st.add_argument("--kind", default=None,
                       help="gc: purge every entry of this kind (e.g. "
                            "sweep-cell, solve), current schema included")
@@ -385,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for cache misses (0 = all "
                             "CPUs; responses are identical for any value)")
+    add_bounded_store_args(p_srv)
     add_resilience_args(p_srv)
     add_obs_args(p_srv)
 
@@ -616,6 +649,18 @@ def cmd_experiment(args, out) -> int:
     return 0
 
 
+def _eviction_from_args(args):
+    """The EvictionConfig dict behind ``--store-policy/--store-max-*``
+    (``None`` when no cap was given — an unbounded store)."""
+    if args.store_max_rows is None and args.store_max_bytes is None:
+        return None
+    return {
+        "policy": args.store_policy,
+        "max_rows": args.store_max_rows,
+        "max_bytes": args.store_max_bytes,
+    }
+
+
 def _policy_from_args(args):
     """Build the RetryPolicy behind ``--retries`` / ``--deadline-s``."""
     from repro.resilience import RetryPolicy
@@ -655,6 +700,7 @@ def cmd_sweep(args, out) -> int:
             refine_schedule=args.refine_schedule,
             solvers=args.solvers,
             store=args.store,
+            eviction=_eviction_from_args(args),
             resume=args.resume,
             shard=args.shard,
             limit=args.limit,
@@ -663,7 +709,7 @@ def cmd_sweep(args, out) -> int:
             faults=args.fault_plan,
             stats=stats,
         )
-    except (ValueError, argparse.ArgumentTypeError) as exc:
+    except (ValueError, KeyError, argparse.ArgumentTypeError) as exc:
         print(str(exc.args[0] if exc.args else exc), file=out)
         return 2
     print(sweep_summary(report), file=out)
@@ -714,6 +760,22 @@ def cmd_store(args, out) -> int:
             result = store.verify(quarantine=args.quarantine)
             print(json.dumps(result, indent=1, sort_keys=True), file=out)
             return 0 if not result["corrupt"] else 1
+        if args.action == "evict":
+            if args.max_rows is None and args.max_bytes is None:
+                print("evict requires --max-rows and/or --max-bytes",
+                      file=out)
+                return 2
+            try:
+                result = store.evict(
+                    policy=args.policy,
+                    max_rows=args.max_rows,
+                    max_bytes=args.max_bytes,
+                )
+            except KeyError as exc:
+                print(str(exc.args[0]), file=out)
+                return 2
+            print(json.dumps(result, indent=1, sort_keys=True), file=out)
+            return 0
         if args.action == "gc":
             removed = store.gc(kind=args.kind, drop_all=args.drop_all)
             what = (
@@ -749,6 +811,7 @@ def cmd_serve(args, out) -> int:
     report = serve_batch(
         requests, store=args.store, jobs=args.jobs,
         policy=_policy_from_args(args), faults=args.fault_plan,
+        eviction=_eviction_from_args(args),
     )
     print(serve_summary(report), file=out)
     if args.out:

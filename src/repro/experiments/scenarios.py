@@ -221,6 +221,7 @@ def run_scenario_sweep(
     refine_schedule: str = "first",
     solvers=None,
     store=None,
+    eviction=None,
     resume: bool = False,
     shard: "str | tuple[int, int] | None" = None,
     limit: int | None = None,
@@ -252,6 +253,14 @@ def run_scenario_sweep(
         A :class:`~repro.store.ResultStore`, a SQLite path, or ``None``
         (compute everything, keep nothing).  With a store, every
         computed cell is filed under its content fingerprint.
+    ``eviction``
+        An :class:`~repro.store.EvictionConfig` (or its dict of fields)
+        bounding the store: once a ``put`` leaves it over ``max_rows``/
+        ``max_bytes``, rows are evicted in policy order (CLI:
+        ``--store-policy/--store-max-rows/--store-max-bytes``).  Evicted
+        cells read as misses on resume and are recomputed, so the
+        consolidated report stays byte-identical to an unbounded run.
+        Ignored without a store.
     ``resume``
         Skip cells whose fingerprint is already in the store and rebuild
         their results from the stored payloads.  A resumed sweep's
@@ -343,6 +352,10 @@ def run_scenario_sweep(
     # in stays under the caller's lifecycle.
     own_store = store is not None and not isinstance(store, ResultStore)
     store = open_store(store, faults=plan) if store is not None else None
+    if store is not None and eviction is not None:
+        from repro.store.eviction import EvictionConfig
+
+        store.configure_eviction(EvictionConfig.from_spec(eviction))
 
     def execute(indices: list[int]):
         """Run a batch of cells fault-tolerantly; terminally failed

@@ -13,6 +13,12 @@ platform, CCR, solver spec} cells; this package makes it *incremental*:
   sha256 payload checksums verified on every read, and quarantine for
   corrupt rows (``repro store verify [--quarantine]``; quarantined
   keys read as misses, so resumed sweeps recompute them);
+* :mod:`repro.store.eviction` — pluggable cache-replacement policies
+  (``lru``/``fifo``/``rrip``/``brrip``/``drrip`` with PSEL
+  set-dueling) behind row-count/payload-byte caps: ``repro store
+  evict`` and put-path enforcement via
+  :meth:`ResultStore.configure_eviction`; evicted keys read as misses,
+  so bounded sweeps/services stay byte-identical to unbounded runs;
 * :mod:`repro.store.service` — the batch mapping service behind
   ``repro serve --batch`` (hit -> stored result, miss ->
   compute-through-the-parallel-engine-and-store).
@@ -25,11 +31,20 @@ consolidated report bit-identical to a cold single-process sweep.
 """
 
 from repro.store.backend import (
+    LogicalClock,
     MemoryStore,
     ResultStore,
     SQLiteStore,
     open_store,
     payload_checksum,
+)
+from repro.store.eviction import (
+    EVICTION_POLICIES,
+    EvictionConfig,
+    EvictionPolicy,
+    eviction_policy_names,
+    get_eviction_policy,
+    register_eviction_policy,
 )
 from repro.store.fingerprint import (
     canonical_json,
@@ -63,6 +78,13 @@ __all__ = [
     "SQLiteStore",
     "open_store",
     "payload_checksum",
+    "LogicalClock",
+    "EvictionPolicy",
+    "EvictionConfig",
+    "EVICTION_POLICIES",
+    "register_eviction_policy",
+    "get_eviction_policy",
+    "eviction_policy_names",
     "fingerprint",
     "canonical_json",
     "spg_payload",

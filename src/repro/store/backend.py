@@ -22,10 +22,25 @@ a resumed sweep recomputes the cell instead of crashing on a raw
 rows written before checksums existed verify as ``unchecksummed`` and
 are never quarantined automatically.
 
+**Boundedness.**  Stores stay serviceable under sustained traffic
+through the pluggable eviction layer (:mod:`repro.store.eviction`):
+:meth:`ResultStore.evict` removes rows in policy order (``lru``,
+``fifo``, RRIP variants with set-dueling) until row-count/payload-byte
+caps hold, and :meth:`ResultStore.configure_eviction` enforces the caps
+on every ``put``.  Evicted keys simply read as misses — resumed sweeps
+and the batch service recompute and re-file them, so consolidated
+reports stay byte-identical to unbounded runs.  The cap check on the
+``put`` path is O(1) (``COUNT(*)``/``SUM(LENGTH(...))`` aggregates);
+row metadata is only fetched once a cap is actually exceeded.
+
 Every row also records the payload schema version and the library
 version that wrote it, so ``repro store gc`` can purge entries an older
 (or newer) payload layout left behind, and ``stats``/``export`` can
-audit a store without deserialising results.
+audit a store without deserialising results.  All row timestamps
+(``created_at``, ``last_hit_at``, quarantine times) come from one
+injectable clock (``clock=``, default wall time) so recency-ordered
+eviction is deterministic in tests and under ``REPRO_FAULT_PLAN``
+replays — see :class:`LogicalClock`.
 
 For deterministic chaos testing, a :class:`~repro.resilience.FaultPlan`
 passed at construction (``faults=``) garbles matching rows *below* the
@@ -41,11 +56,16 @@ import sqlite3
 import time
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.core.errors import StoreCorruption
 from repro.obs.session import inc, trace_span
 from repro.resilience.faults import FaultPlan
+from repro.store.eviction import (
+    EvictionConfig,
+    EvictionPolicy,
+    get_eviction_policy,
+)
 from repro.store.serialize import PAYLOAD_SCHEMA_VERSION
 from repro.util.version import repro_version
 
@@ -53,6 +73,7 @@ __all__ = [
     "ResultStore",
     "MemoryStore",
     "SQLiteStore",
+    "LogicalClock",
     "open_store",
     "payload_checksum",
 ]
@@ -61,6 +82,23 @@ __all__ = [
 def payload_checksum(text: str) -> str:
     """The sha256 hex digest of a serialised payload."""
     return hashlib.sha256(text.encode()).hexdigest()
+
+
+class LogicalClock:
+    """A deterministic logical clock: each call returns the next tick.
+
+    Inject into a store (``clock=LogicalClock()``) wherever recency
+    ordering must be reproducible — LRU eviction tests, fault-plan
+    replays — instead of racing wall-clock timestamps.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self._t = float(start)
+        self._step = float(step)
+
+    def __call__(self) -> float:
+        self._t += self._step
+        return self._t
 
 
 def _parse_verified(key: str, text: str, checksum: str | None) -> dict:
@@ -93,17 +131,33 @@ class ResultStore(ABC):
     #: reporting only — never part of canonical reports).
     session_quarantined: list[str]
 
+    #: Put-path eviction config + its resolved policy (see
+    #: :meth:`configure_eviction`); ``None`` = unbounded.
+    _eviction: EvictionConfig | None = None
+    _eviction_policy: EvictionPolicy | None = None
+
     # -- required primitives -------------------------------------------
     def put(self, key: str, payload: dict, kind: str = "result") -> None:
         """File ``payload`` under ``key`` (replacing any previous entry).
 
         The row's schema version is read from ``payload["schema"]``
         (defaulting to the current :data:`PAYLOAD_SCHEMA_VERSION`); the
-        row records the sha256 checksum of the serialised text.
+        row records the sha256 checksum of the serialised text.  With an
+        eviction config attached (:meth:`configure_eviction`), a put
+        that leaves the store over its caps evicts in policy order —
+        the just-written row itself is exempt.
         """
         with trace_span("store.put", kind=kind):
             self._put(key, payload, kind)
         inc("store.puts")
+        cfg = self._eviction
+        if cfg is not None:
+            self.evict(
+                policy=self._eviction_policy,
+                max_rows=cfg.max_rows,
+                max_bytes=cfg.max_bytes,
+                protect=(key,),
+            )
 
     @abstractmethod
     def _put(self, key: str, payload: dict, kind: str) -> None:
@@ -139,6 +193,10 @@ class ResultStore(ABC):
         """Quarantined rows as ``{key, kind, reason}`` in key order."""
 
     @abstractmethod
+    def _purge_quarantine(self) -> int:
+        """Drop every quarantined row; returns how many there were."""
+
+    @abstractmethod
     def _texts(self) -> Iterator[tuple[str, str, str | None]]:
         """Raw ``(key, payload_text, checksum)`` triples, in key order
         (the verification layer's view — no JSON parsing)."""
@@ -150,7 +208,8 @@ class ResultStore(ABC):
     # -- access accounting (operator telemetry, never canonical) -------
     @abstractmethod
     def _record_hit(self, key: str) -> None:
-        """Bump the per-row and aggregate hit counters for ``key``."""
+        """Bump the per-row and aggregate hit counters for ``key`` and
+        promote its re-reference prediction to MRU (``rrpv = 0``)."""
 
     @abstractmethod
     def _record_miss(self) -> None:
@@ -162,6 +221,29 @@ class ResultStore(ABC):
         last_hit_at}`` (persistent for SQLite stores, per-instance for
         memory stores).  Excluded from :meth:`export` and :meth:`rows`
         so snapshots stay deterministic."""
+
+    # -- accounting counters (eviction-policy state side-band) ---------
+    @abstractmethod
+    def _get_counter(self, name: str, default: int = 0) -> int:
+        """A named accounting counter (PSEL, bimodal counter, eviction
+        totals); persistent for SQLite stores."""
+
+    @abstractmethod
+    def _set_counter(self, name: str, value: int) -> None:
+        """Set a named accounting counter."""
+
+    @abstractmethod
+    def _counters(self) -> dict:
+        """All named accounting counters (a snapshot dict)."""
+
+    def _add_counter(self, name: str, n: int = 1) -> None:
+        self._set_counter(name, self._get_counter(name) + n)
+
+    def _insert_rrpv(self, key: str) -> int:
+        """The re-reference prediction stamped on a fresh row: the
+        attached eviction policy's insertion prediction, else MRU."""
+        pol = self._eviction_policy
+        return 0 if pol is None else pol.insertion_rrpv(self, key)
 
     # -- integrity ------------------------------------------------------
     def get(self, key: str, on_corrupt: str = "quarantine") -> dict | None:
@@ -177,7 +259,9 @@ class ResultStore(ABC):
         ``last_hit_at`` accounting and the aggregate hit counter, misses
         (including quarantined corrupt rows) the aggregate miss counter
         — surfaced by ``repro store stats`` and the ``store.hits``/
-        ``store.misses`` session metrics.
+        ``store.misses`` session metrics.  An attached eviction policy
+        sees every hit too (set-dueling scores itself against exactly
+        this accounting).
         """
         with trace_span("store.get") as sp:
             found = self._fetch_text(key)
@@ -196,6 +280,8 @@ class ResultStore(ABC):
                 sp.attrs["hit"] = result is not None
         if result is not None:
             self._record_hit(key)
+            if self._eviction_policy is not None:
+                self._eviction_policy.on_hit(self, key)
             inc("store.hits")
         else:
             self._record_miss()
@@ -237,6 +323,114 @@ class ResultStore(ABC):
             "quarantined": len(corrupt) if quarantine else 0,
         }
 
+    # -- bounded-store eviction ----------------------------------------
+    def configure_eviction(
+        self,
+        policy: "str | EvictionConfig | None" = "lru",
+        max_rows: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        """Attach (or detach) put-path cap enforcement.
+
+        ``policy`` is a registered eviction-policy name or a prebuilt
+        :class:`~repro.store.eviction.EvictionConfig`; at least one of
+        ``max_rows``/``max_bytes`` must be given.  ``policy=None``
+        detaches the config (the store becomes unbounded again).  The
+        attached policy also maintains its prediction state (insertion
+        RRPVs, PSEL scoring) on every subsequent ``put``/``get``.
+        """
+        if policy is None:
+            self._eviction = None
+            self._eviction_policy = None
+            return
+        if isinstance(policy, EvictionConfig):
+            cfg = policy
+        else:
+            cfg = EvictionConfig(
+                policy=policy, max_rows=max_rows, max_bytes=max_bytes
+            )
+        self._eviction = cfg
+        self._eviction_policy = get_eviction_policy(cfg.policy)
+
+    def evict(
+        self,
+        policy: "str | EvictionPolicy" = "lru",
+        max_rows: int | None = None,
+        max_bytes: int | None = None,
+        protect: Iterable[str] = (),
+    ) -> dict:
+        """Evict rows in policy order until both caps hold.
+
+        Returns ``{policy, evicted, freed_bytes, rows, bytes, max_rows,
+        max_bytes}`` (``rows``/``bytes`` are the post-eviction store
+        size).  The overage check costs two aggregate queries; row
+        metadata is fetched only when a cap is actually exceeded.
+        ``protect`` exempts keys (the put path protects the row it just
+        wrote).  Evictions are counted per policy (``repro store
+        stats``) and in the ``store.evictions`` session metric, under a
+        ``store.evict`` trace span.
+        """
+        if max_rows is None and max_bytes is None:
+            raise ValueError("evict needs max_rows and/or max_bytes")
+        policy = get_eviction_policy(policy)
+        victims: list[str] = []
+        freed = 0
+        with trace_span("store.evict", policy=policy.name) as sp:
+            n_rows = len(self)
+            n_bytes = self.total_bytes()
+            need_rows = (
+                max(0, n_rows - max_rows) if max_rows is not None else 0
+            )
+            need_bytes = (
+                max(0, n_bytes - max_bytes) if max_bytes is not None else 0
+            )
+            if need_rows or need_bytes:
+                exempt = frozenset(protect)
+                for row in policy.order(list(self._eviction_rows())):
+                    if len(victims) >= need_rows and freed >= need_bytes:
+                        break
+                    if row["key"] in exempt:
+                        continue
+                    victims.append(row["key"])
+                    freed += row["bytes"]
+                self.delete(victims)
+                self._add_counter(f"evicted:{policy.name}", len(victims))
+            if sp is not None:
+                sp.attrs["evicted"] = len(victims)
+        if victims:
+            inc("store.evictions", len(victims))
+        return {
+            "policy": policy.name,
+            "evicted": len(victims),
+            "freed_bytes": freed,
+            "rows": n_rows - len(victims),
+            "bytes": n_bytes - freed,
+            "max_rows": max_rows,
+            "max_bytes": max_bytes,
+        }
+
+    @abstractmethod
+    def total_bytes(self) -> int:
+        """Total serialised payload bytes across all live rows (an
+        aggregate query — never deserialises payloads)."""
+
+    @abstractmethod
+    def _eviction_rows(self) -> Iterator[dict]:
+        """Row metadata for the eviction policies, in key order:
+        ``{key, kind, created_at, hits, last_hit_at, rrpv, bytes}``."""
+
+    def eviction_stats(self) -> dict:
+        """Lifetime eviction accounting: per-policy victim counts."""
+        by_policy = {
+            name.split(":", 1)[1]: int(value)
+            for name, value in self._counters().items()
+            if name.startswith("evicted:")
+        }
+        return {
+            "evicted": dict(sorted(by_policy.items())),
+            "total": sum(by_policy.values()),
+        }
+
     # -- derived conveniences ------------------------------------------
     def __contains__(self, key: str) -> bool:
         return self._fetch_text(key) is not None
@@ -247,8 +441,13 @@ class ResultStore(ABC):
     def __len__(self) -> int:
         return len(self.keys())
 
-    def stats(self) -> dict:
-        """Entry counts by kind and schema version, plus staleness."""
+    def _count_aggregates(self) -> tuple[int, dict, dict, int]:
+        """``(total, by_kind, by_schema, stale)`` entry counts.
+
+        The generic implementation walks row metadata; SQLite overrides
+        it with ``COUNT(*)``/GROUP-BY aggregates so cap checks and
+        ``repro store stats`` stay cheap on large stores.
+        """
         by_kind: dict[str, int] = {}
         by_schema: dict[str, int] = {}
         stale = 0
@@ -260,15 +459,23 @@ class ResultStore(ABC):
             by_schema[s] = by_schema.get(s, 0) + 1
             if row["schema"] != PAYLOAD_SCHEMA_VERSION:
                 stale += 1
+        return total, by_kind, by_schema, stale
+
+    def stats(self) -> dict:
+        """Entry counts by kind and schema version, plus staleness,
+        payload bytes, access and eviction accounting."""
+        total, by_kind, by_schema, stale = self._count_aggregates()
         return {
             "location": self.location,
             "entries": total,
+            "bytes": self.total_bytes(),
             "by_kind": by_kind,
             "by_schema": by_schema,
             "stale": stale,
             "quarantined": len(self.quarantined()),
             "current_schema": PAYLOAD_SCHEMA_VERSION,
             "access": self.access_stats(),
+            "eviction": self.eviction_stats(),
         }
 
     def gc(self, kind: str | None = None, drop_all: bool = False) -> int:
@@ -278,7 +485,8 @@ class ResultStore(ABC):
         (left behind by older/newer code).  ``kind`` restricts the purge
         to that kind *and* removes current-schema entries of it too
         (explicitly invalidating a class of results); ``drop_all``
-        empties the store.
+        empties the store — quarantined rows included, so a full purge
+        really reclaims every byte (the count covers them too).
         """
         doomed = [
             row["key"]
@@ -287,7 +495,10 @@ class ResultStore(ABC):
             or (kind is not None and row["kind"] == kind)
             or (kind is None and row["schema"] != PAYLOAD_SCHEMA_VERSION)
         ]
-        return self.delete(doomed)
+        removed = self.delete(doomed)
+        if drop_all:
+            removed += self._purge_quarantine()
+        return removed
 
     def export(self) -> dict:
         """A deterministic JSON snapshot of the whole store.
@@ -321,34 +532,43 @@ class MemoryStore(ResultStore):
     """An in-process store (payloads are deep-copied via JSON on both
     ends, so callers cannot mutate stored state by aliasing)."""
 
-    def __init__(self, faults: FaultPlan | None = None) -> None:
+    def __init__(
+        self,
+        faults: FaultPlan | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self._rows: dict[str, dict] = {}
         self._quarantine: dict[str, dict] = {}
         self._faults = faults
-        self._access = {"hits": 0, "misses": 0}
+        self._clock = time.time if clock is None else clock
+        self._access: dict[str, int] = {"hits": 0, "misses": 0}
         self.location = ":memory:"
         self.session_quarantined = []
 
     def _put(self, key: str, payload: dict, kind: str) -> None:
         text = json.dumps(payload, sort_keys=True)
         checksum = payload_checksum(text)
+        rrpv = self._insert_rrpv(key)
         if self._faults is not None and self._faults.corrupt_put(key):
             text = text[: max(1, len(text) // 2)]  # torn write
         self._rows[key] = {
             "kind": kind,
             "schema": int(payload.get("schema", PAYLOAD_SCHEMA_VERSION)),
             "version": repro_version(),
+            "created_at": self._clock(),
             "payload": text,
             "checksum": checksum,
             "hits": 0,
             "last_hit_at": None,
+            "rrpv": rrpv,
         }
 
     def _record_hit(self, key: str) -> None:
         row = self._rows.get(key)
         if row is not None:
             row["hits"] += 1
-            row["last_hit_at"] = time.time()
+            row["last_hit_at"] = self._clock()
+            row["rrpv"] = 0
         self._access["hits"] += 1
 
     def _record_miss(self) -> None:
@@ -368,6 +588,31 @@ class MemoryStore(ResultStore):
             ),
             "last_hit_at": max(last) if last else None,
         }
+
+    def _get_counter(self, name: str, default: int = 0) -> int:
+        return int(self._access.get(name, default))
+
+    def _set_counter(self, name: str, value: int) -> None:
+        self._access[name] = int(value)
+
+    def _counters(self) -> dict:
+        return dict(self._access)
+
+    def total_bytes(self) -> int:
+        return sum(len(row["payload"]) for row in self._rows.values())
+
+    def _eviction_rows(self) -> Iterator[dict]:
+        for key in sorted(self._rows):
+            row = self._rows[key]
+            yield {
+                "key": key,
+                "kind": row["kind"],
+                "created_at": row["created_at"],
+                "hits": row["hits"],
+                "last_hit_at": row["last_hit_at"],
+                "rrpv": row["rrpv"],
+                "bytes": len(row["payload"]),
+            }
 
     def _fetch_text(self, key: str) -> tuple[str, str | None] | None:
         row = self._rows.get(key)
@@ -394,6 +639,11 @@ class MemoryStore(ResultStore):
             for key, row in sorted(self._quarantine.items())
         ]
 
+    def _purge_quarantine(self) -> int:
+        n = len(self._quarantine)
+        self._quarantine.clear()
+        return n
+
     def delete(self, keys: Iterable[str]) -> int:
         n = 0
         for key in list(keys):
@@ -415,6 +665,9 @@ class MemoryStore(ResultStore):
                 ),
             }
 
+    def __len__(self) -> int:
+        return len(self._rows)
+
 
 class SQLiteStore(ResultStore):
     """One SQLite database file holding all results.
@@ -430,11 +683,15 @@ class SQLiteStore(ResultStore):
     """
 
     def __init__(
-        self, path: "str | Path", faults: FaultPlan | None = None
+        self,
+        path: "str | Path",
+        faults: FaultPlan | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.path = Path(path)
         self.location = str(self.path)
         self._faults = faults
+        self._clock = time.time if clock is None else clock
         self.session_quarantined = []
         self._conn = sqlite3.connect(self.path, timeout=30.0)
         try:
@@ -451,7 +708,8 @@ class SQLiteStore(ResultStore):
                         payload TEXT NOT NULL,
                         checksum TEXT,
                         hits INTEGER NOT NULL DEFAULT 0,
-                        last_hit_at REAL
+                        last_hit_at REAL,
+                        rrpv INTEGER NOT NULL DEFAULT 0
                     )
                     """
                 )
@@ -474,6 +732,13 @@ class SQLiteStore(ResultStore):
                 if "last_hit_at" not in cols:
                     self._conn.execute(
                         "ALTER TABLE results ADD COLUMN last_hit_at REAL"
+                    )
+                # Pre-eviction stores gain the re-reference prediction
+                # column; legacy rows read as MRU (never-evict-first).
+                if "rrpv" not in cols:
+                    self._conn.execute(
+                        "ALTER TABLE results ADD COLUMN "
+                        "rrpv INTEGER NOT NULL DEFAULT 0"
                     )
                 self._conn.execute(
                     """
@@ -513,21 +778,26 @@ class SQLiteStore(ResultStore):
     def _put(self, key: str, payload: dict, kind: str) -> None:
         text = json.dumps(payload, sort_keys=True)
         checksum = payload_checksum(text)
+        # Resolve the insertion prediction before the write transaction:
+        # bimodal policies bump their counter through _set_counter,
+        # which commits on its own.
+        rrpv = self._insert_rrpv(key)
         if self._faults is not None and self._faults.corrupt_put(key):
             text = text[: max(1, len(text) // 2)]  # torn write
         with self._db() as conn:
             conn.execute(
                 "INSERT OR REPLACE INTO results "
-                "(key, kind, schema, version, created_at, payload, checksum) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                "(key, kind, schema, version, created_at, payload, "
+                "checksum, rrpv) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     key,
                     kind,
                     int(payload.get("schema", PAYLOAD_SCHEMA_VERSION)),
                     repro_version(),
-                    time.time(),
+                    self._clock(),
                     text,
                     checksum,
+                    rrpv,
                 ),
             )
 
@@ -548,9 +818,9 @@ class SQLiteStore(ResultStore):
     def _record_hit(self, key: str) -> None:
         with self._db() as conn:
             conn.execute(
-                "UPDATE results SET hits = hits + 1, last_hit_at = ? "
-                "WHERE key = ?",
-                (time.time(), key),
+                "UPDATE results SET hits = hits + 1, last_hit_at = ?, "
+                "rrpv = 0 WHERE key = ?",
+                (self._clock(), key),
             )
             self._bump_access(conn, "hits")
 
@@ -574,6 +844,47 @@ class SQLiteStore(ResultStore):
             "last_hit_at": last,
         }
 
+    def _get_counter(self, name: str, default: int = 0) -> int:
+        row = self._db().execute(
+            "SELECT value FROM access_stats WHERE name = ?", (name,)
+        ).fetchone()
+        return default if row is None else int(row[0])
+
+    def _set_counter(self, name: str, value: int) -> None:
+        with self._db() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO access_stats (name, value) "
+                "VALUES (?, ?)",
+                (name, int(value)),
+            )
+
+    def _counters(self) -> dict:
+        return dict(
+            self._db().execute("SELECT name, value FROM access_stats")
+        )
+
+    def total_bytes(self) -> int:
+        total = self._db().execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM results"
+        ).fetchone()[0]
+        return int(total)
+
+    def _eviction_rows(self) -> Iterator[dict]:
+        cur = self._db().execute(
+            "SELECT key, kind, created_at, hits, last_hit_at, rrpv, "
+            "LENGTH(payload) FROM results ORDER BY key"
+        )
+        for key, kind, created, hits, last, rrpv, nbytes in cur:
+            yield {
+                "key": key,
+                "kind": kind,
+                "created_at": created,
+                "hits": hits,
+                "last_hit_at": last,
+                "rrpv": rrpv,
+                "bytes": nbytes,
+            }
+
     def _texts(self) -> Iterator[tuple[str, str, str | None]]:
         cur = self._db().execute(
             "SELECT key, payload, checksum FROM results ORDER BY key"
@@ -586,7 +897,7 @@ class SQLiteStore(ResultStore):
                 "INSERT OR REPLACE INTO quarantine "
                 "SELECT key, kind, schema, version, created_at, payload, "
                 "checksum, ?, ? FROM results WHERE key = ?",
-                (reason, time.time(), key),
+                (reason, self._clock(), key),
             )
             moved = cur.rowcount > 0
             conn.execute("DELETE FROM results WHERE key = ?", (key,))
@@ -602,6 +913,11 @@ class SQLiteStore(ResultStore):
             {"key": key, "kind": kind, "reason": reason}
             for key, kind, reason in cur
         ]
+
+    def _purge_quarantine(self) -> int:
+        with self._db() as conn:
+            cur = conn.execute("DELETE FROM quarantine")
+            return cur.rowcount
 
     def delete(self, keys: Iterable[str]) -> int:
         keys = list(keys)
@@ -632,6 +948,31 @@ class SQLiteStore(ResultStore):
                 ),
             }
 
+    def _count_aggregates(self) -> tuple[int, dict, dict, int]:
+        conn = self._db()
+        total = int(
+            conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        )
+        by_kind = {
+            kind: int(n)
+            for kind, n in conn.execute(
+                "SELECT kind, COUNT(*) FROM results GROUP BY kind"
+            )
+        }
+        by_schema = {
+            str(schema): int(n)
+            for schema, n in conn.execute(
+                "SELECT schema, COUNT(*) FROM results GROUP BY schema"
+            )
+        }
+        stale = int(
+            conn.execute(
+                "SELECT COUNT(*) FROM results WHERE schema != ?",
+                (PAYLOAD_SCHEMA_VERSION,),
+            ).fetchone()[0]
+        )
+        return total, by_kind, by_schema, stale
+
     def __len__(self) -> int:
         cur = self._db().execute("SELECT COUNT(*) FROM results")
         return int(cur.fetchone()[0])
@@ -654,16 +995,17 @@ class SQLiteStore(ResultStore):
 def open_store(
     spec: "str | Path | ResultStore | None",
     faults: FaultPlan | None = None,
+    clock: Callable[[], float] | None = None,
 ) -> ResultStore:
     """Coerce a CLI/API store argument into a :class:`ResultStore`.
 
     ``None`` and ``":memory:"`` build a fresh :class:`MemoryStore`;
-    an existing store instance passes through (``faults`` is ignored —
-    the instance's own plan stands); anything else is a SQLite file
-    path (created on first use).
+    an existing store instance passes through (``faults``/``clock`` are
+    ignored — the instance's own configuration stands); anything else
+    is a SQLite file path (created on first use).
     """
     if isinstance(spec, ResultStore):
         return spec
     if spec is None or spec == ":memory:":
-        return MemoryStore(faults=faults)
-    return SQLiteStore(spec, faults=faults)
+        return MemoryStore(faults=faults, clock=clock)
+    return SQLiteStore(spec, faults=faults, clock=clock)

@@ -173,6 +173,7 @@ def serve_batch(
     policy: "RetryPolicy | None" = None,
     faults=None,
     stats: "ExecutionStats | None" = None,
+    eviction=None,
 ) -> dict:
     """Answer every request through ``store`` and return the response doc.
 
@@ -186,12 +187,21 @@ def serve_batch(
     error response (``ok: false`` with ``error: {reason, attempts}``)
     instead of aborting the batch; ``faults`` injects deterministic
     chaos exactly as in the sweep engine.
+
+    ``eviction`` (an :class:`~repro.store.EvictionConfig` or its dict of
+    fields) bounds the store with put-path cap enforcement; evicted keys
+    read as misses and are recomputed, so response documents stay
+    byte-identical to an unbounded service.
     """
     # Close only connections opened here; a live ResultStore passed in
     # stays under the caller's lifecycle.
     plan = resolve_fault_plan(faults)
     own_store = not isinstance(store, ResultStore)
     store = open_store(store, faults=plan)
+    if eviction is not None:
+        from repro.store.eviction import EvictionConfig
+
+        store.configure_eviction(EvictionConfig.from_spec(eviction))
     try:
         return _serve_batch(store, requests, jobs, policy, plan, stats)
     finally:

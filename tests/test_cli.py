@@ -309,6 +309,71 @@ class TestStoreCommand:
         assert json_mod.loads(text)["meta"]["entries"] == 2
 
 
+class TestEvictCommand:
+    def fill(self, tmp_path) -> str:
+        db = str(tmp_path / "store.sqlite")
+        code, _ = run_cli(*sweep_args("--store", db))
+        assert code == 0
+        return db
+
+    def test_evict_to_row_cap(self, tmp_path):
+        import json as json_mod
+
+        db = self.fill(tmp_path)
+        code, text = run_cli("store", "evict", "--store", db,
+                             "--policy", "lru", "--max-rows", "1")
+        assert code == 0
+        result = json_mod.loads(text)
+        assert result["policy"] == "lru"
+        assert result["evicted"] == 1
+        assert result["rows"] == 1
+        code, text = run_cli("store", "stats", "--store", db)
+        stats = json_mod.loads(text)
+        assert stats["entries"] == 1
+        assert stats["eviction"] == {"evicted": {"lru": 1}, "total": 1}
+
+    def test_evict_requires_a_cap(self, tmp_path):
+        db = self.fill(tmp_path)
+        code, text = run_cli("store", "evict", "--store", db)
+        assert code == 2
+        assert "--max-rows" in text
+
+    def test_evict_unknown_policy_rejected(self, tmp_path):
+        db = self.fill(tmp_path)
+        code, text = run_cli("store", "evict", "--store", db,
+                             "--policy", "oracle", "--max-rows", "1")
+        assert code == 2
+        assert "unknown eviction policy" in text
+
+    def test_bounded_sweep_evict_resume_matches_cold(self, tmp_path):
+        db = str(tmp_path / "bounded.sqlite")
+        cold_path = tmp_path / "cold.json"
+        warm_path = tmp_path / "warm.json"
+        code, _ = run_cli(*sweep_args("--out", str(cold_path)))
+        assert code == 0
+        code, _ = run_cli(*sweep_args(
+            "--store", db, "--store-policy", "drrip",
+            "--store-max-rows", "1",
+        ))
+        assert code == 0
+        code, _ = run_cli("store", "evict", "--store", db,
+                          "--max-rows", "0")
+        assert code == 0
+        code, _ = run_cli(*sweep_args(
+            "--store", db, "--resume", "--out", str(warm_path),
+        ))
+        assert code == 0
+        assert warm_path.read_bytes() == cold_path.read_bytes()
+
+    def test_bad_store_policy_flag_rejected(self, tmp_path):
+        db = str(tmp_path / "bounded.sqlite")
+        code, text = run_cli(*sweep_args(
+            "--store", db, "--store-policy", "oracle",
+            "--store-max-rows", "1",
+        ))
+        assert code == 2
+
+
 class TestServeCommand:
     def write_requests(self, tmp_path):
         import json as json_mod

@@ -1,0 +1,480 @@
+"""Tests for the pluggable store-eviction subsystem.
+
+Covers the registry, per-policy victim ordering (LRU vs FIFO vs the
+RRIP family), row/byte cap enforcement on the put path, PSEL
+set-dueling convergence on a synthetic skewed workload, the injectable
+clock, the store accounting fixes riding along (gc ``drop_all``
+quarantine purge, SQLite aggregate stats), and the cache-correctness
+contract: an evicted (bounded) sweep resumes to a report byte-identical
+to a cold unbounded run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import report_json, run_scenario_sweep
+from repro.store import (
+    EVICTION_POLICIES,
+    EvictionConfig,
+    LogicalClock,
+    MemoryStore,
+    SQLiteStore,
+    eviction_policy_names,
+    get_eviction_policy,
+    register_eviction_policy,
+)
+from repro.store.eviction import (
+    BIP_MAX,
+    PSEL_INIT,
+    RRPV_LONG,
+    RRPV_MAX,
+    duel_region,
+)
+from repro.store.serialize import PAYLOAD_SCHEMA_VERSION
+
+
+def payload(i: int, pad: int = 0) -> dict:
+    return {
+        "schema": PAYLOAD_SCHEMA_VERSION,
+        "value": i,
+        "pad": "x" * pad,
+    }
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        s = MemoryStore(clock=LogicalClock())
+    else:
+        s = SQLiteStore(tmp_path / "evict.sqlite", clock=LogicalClock())
+    yield s
+    s.close()
+
+
+class TestRegistry:
+    def test_builtin_policies_registered(self):
+        assert eviction_policy_names() == [
+            "brrip", "drrip", "fifo", "lru", "rrip",
+        ]
+
+    def test_get_builds_and_passes_instances_through(self):
+        lru = get_eviction_policy("lru")
+        assert lru.name == "lru"
+        assert get_eviction_policy(lru) is lru
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(KeyError, match="brrip.*drrip.*fifo"):
+            get_eviction_policy("clairvoyant")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_eviction_policy("lru", "dup")(type("X", (), {}))
+
+    def test_custom_policy_registers_and_unregisters(self):
+        from repro.store import EvictionPolicy
+
+        @register_eviction_policy("mru-test", "newest first (test only)")
+        class MRUPolicy(EvictionPolicy):
+            def order(self, rows):
+                return sorted(
+                    rows,
+                    key=lambda r: (-(r["last_hit_at"] or r["created_at"]),
+                                   r["key"]),
+                )
+
+        try:
+            s = MemoryStore(clock=LogicalClock())
+            for i in range(4):
+                s.put(f"k{i}", payload(i))
+            out = s.evict(policy="mru-test", max_rows=2)
+            assert out["evicted"] == 2
+            assert sorted(s.keys()) == ["k0", "k1"]
+        finally:
+            del EVICTION_POLICIES["mru-test"]
+
+
+class TestEvictionConfig:
+    def test_requires_a_cap(self):
+        with pytest.raises(ValueError, match="max_rows and/or max_bytes"):
+            EvictionConfig(policy="lru")
+
+    def test_rejects_negative_caps(self):
+        with pytest.raises(ValueError):
+            EvictionConfig(max_rows=-1)
+        with pytest.raises(ValueError):
+            EvictionConfig(max_bytes=-1)
+
+    def test_fails_fast_on_unknown_policy(self):
+        with pytest.raises(KeyError):
+            EvictionConfig(policy="nope", max_rows=1)
+
+    def test_from_spec_coercions(self):
+        cfg = EvictionConfig(max_rows=5)
+        assert EvictionConfig.from_spec(None) is None
+        assert EvictionConfig.from_spec(cfg) is cfg
+        built = EvictionConfig.from_spec(
+            {"policy": "fifo", "max_rows": 2, "max_bytes": None}
+        )
+        assert built == EvictionConfig(policy="fifo", max_rows=2)
+
+
+class TestOrdering:
+    def test_lru_evicts_least_recently_used(self, store):
+        for i in range(4):
+            store.put(f"k{i}", payload(i))
+        store.get("k0")  # k0 becomes most recently used
+        store.get("k1")
+        out = store.evict(policy="lru", max_rows=2)
+        assert out["evicted"] == 2
+        assert sorted(store.keys()) == ["k0", "k1"]
+
+    def test_lru_falls_back_to_created_at(self, store):
+        for i in range(3):
+            store.put(f"k{i}", payload(i))  # never read back
+        store.evict(policy="lru", max_rows=1)
+        assert store.keys() == ["k2"]
+
+    def test_fifo_ignores_hits(self, store):
+        for i in range(3):
+            store.put(f"k{i}", payload(i))
+        store.get("k0")  # a hit must not save the oldest row
+        store.evict(policy="fifo", max_rows=2)
+        assert sorted(store.keys()) == ["k1", "k2"]
+
+    def test_rrip_hit_promotion_beats_recency(self, store):
+        # Under a configured RRIP, fresh rows insert at a long
+        # re-reference prediction; a hit promotes to MRU (rrpv 0).  The
+        # promoted row survives even though *younger* rows exist — this
+        # is where RRIP and LRU-by-creation disagree.
+        store.configure_eviction("rrip", max_rows=10)
+        for i in range(4):
+            store.put(f"k{i}", payload(i))
+        store.get("k0")
+        out = store.evict(policy="rrip", max_rows=1)
+        assert out["evicted"] == 3
+        assert store.keys() == ["k0"]
+
+    def test_rrip_insertion_prediction(self, store):
+        store.configure_eviction("rrip", max_rows=10)
+        store.put("k", payload(0))
+        row = next(store._eviction_rows())
+        assert row["rrpv"] == RRPV_LONG
+        store.get("k")
+        row = next(store._eviction_rows())
+        assert row["rrpv"] == 0
+
+    def test_brrip_mostly_distant_insertions(self, store):
+        store.configure_eviction("brrip", max_rows=1000)
+        for i in range(BIP_MAX):
+            store.put(f"k{i:03d}", payload(i))
+        rrpvs = [r["rrpv"] for r in store._eviction_rows()]
+        # Exactly one long insertion per BIP_MAX; the rest distant.
+        assert rrpvs.count(RRPV_LONG) == 1
+        assert rrpvs.count(RRPV_MAX) == BIP_MAX - 1
+
+    def test_policy_order_is_deterministic_on_ties(self, store):
+        for i in range(5):
+            store.put(f"k{i}", payload(i))
+        pol = get_eviction_policy("lru")
+        rows = list(store._eviction_rows())
+        for row in rows:  # force a total tie on recency
+            row["created_at"] = 1.0
+            row["last_hit_at"] = None
+        assert [r["key"] for r in pol.order(rows)] == sorted(
+            r["key"] for r in rows
+        )
+
+
+class TestCapsOnPut:
+    def test_max_rows_enforced_on_put(self, store):
+        store.configure_eviction("lru", max_rows=3)
+        for i in range(10):
+            store.put(f"k{i}", payload(i))
+            assert len(store) <= 3
+        assert len(store) == 3
+
+    def test_max_bytes_enforced_on_put(self, store):
+        one = len(
+            __import__("json").dumps(payload(0, pad=50), sort_keys=True)
+        )
+        store.configure_eviction("lru", max_bytes=3 * one)
+        for i in range(10):
+            store.put(f"k{i}", payload(i, pad=50))
+            assert store.total_bytes() <= 3 * one
+        assert len(store) == 3
+
+    def test_put_protects_the_just_written_row(self, store):
+        # Under BRRIP the fresh row usually carries the worst (distant)
+        # prediction; cap enforcement must still never evict it.
+        store.configure_eviction("brrip", max_rows=1)
+        for i in range(1, 6):
+            store.put(f"k{i}", payload(i))
+            assert store.keys() == [f"k{i}"]
+
+    def test_under_cap_puts_do_not_evict(self, store):
+        store.configure_eviction("lru", max_rows=100)
+        for i in range(5):
+            store.put(f"k{i}", payload(i))
+        assert store.eviction_stats()["total"] == 0
+
+    def test_detach_restores_unbounded(self, store):
+        store.configure_eviction("lru", max_rows=2)
+        for i in range(5):
+            store.put(f"k{i}", payload(i))
+        assert len(store) == 2
+        store.configure_eviction(None)
+        for i in range(5, 10):
+            store.put(f"k{i}", payload(i))
+        assert len(store) == 7
+
+    def test_eviction_counters_per_policy(self, store):
+        store.configure_eviction("fifo", max_rows=1)
+        for i in range(4):
+            store.put(f"k{i}", payload(i))
+        store.evict(policy="lru", max_rows=0)
+        ev = store.eviction_stats()
+        assert ev == {"evicted": {"fifo": 3, "lru": 1}, "total": 4}
+        assert store.stats()["eviction"] == ev
+
+    def test_explicit_evict_requires_a_cap(self, store):
+        with pytest.raises(ValueError):
+            store.evict(policy="lru")
+
+
+class TestDuel:
+    @staticmethod
+    def trace_keys(universe=120):
+        import hashlib
+
+        return [
+            hashlib.sha256(f"duel-{i}".encode()).hexdigest()
+            for i in range(universe)
+        ]
+
+    def replay_skewed(self, store, policy, hot_keys=None, cold_keys=None,
+                      accesses=600, cap=30):
+        """Bound the store and replay a deterministic skewed trace: hot
+        keys re-referenced every other access, cold keys scanned
+        through once each (the mix the bimodal candidate exists for)."""
+        if hot_keys is None:
+            keys = self.trace_keys()
+            hot_keys, cold_keys = keys[:12], keys[12:]
+        store.configure_eviction(policy, max_rows=cap)
+        c = 0
+        for n in range(accesses):
+            if n % 2 == 0:
+                key = hot_keys[(n // 2) % len(hot_keys)]
+            else:
+                key = cold_keys[c % len(cold_keys)]
+                c += 1
+            if store.get(key) is None:
+                store.put(key, payload(n))
+        acc = store.access_stats()
+        return acc["hits"] / (acc["hits"] + acc["misses"])
+
+    def test_psel_moves_off_neutral_and_persists(self, tmp_path):
+        # Put an rrip-leader key (duel region 0) in the hot set: its
+        # repeated hits are evidence for rrip, so PSEL must move up.
+        keys = self.trace_keys(400)
+        leaders = [k for k in keys if duel_region(k) == 0]
+        followers = [k for k in keys if duel_region(k) > 1]
+        hot = [leaders[0]] + followers[:11]
+        cold = followers[11:200]
+        db = tmp_path / "duel.sqlite"
+        s = SQLiteStore(db, clock=LogicalClock())
+        self.replay_skewed(s, "drrip", hot_keys=hot, cold_keys=cold)
+        psel = s._get_counter("psel", PSEL_INIT)
+        assert psel != PSEL_INIT  # the duel picked a side
+        s.close()
+        s2 = SQLiteStore(db, clock=LogicalClock())
+        assert s2._get_counter("psel", PSEL_INIT) == psel
+        s2.close()
+
+    def test_duelled_hit_rate_at_least_worse_static(self):
+        rates = {
+            name: self.replay_skewed(
+                MemoryStore(clock=LogicalClock()), name
+            )
+            for name in ("rrip", "brrip", "drrip")
+        }
+        assert rates["drrip"] >= min(rates["rrip"], rates["brrip"])
+
+    def test_leader_regions_split_by_key_hash(self):
+        assert duel_region("00000000" + "a" * 56) == 0
+        assert duel_region("00000001" + "a" * 56) == 1
+        assert duel_region("not-hex!") == sum(b"not-hex!") % 64
+
+    def test_follower_insertions_track_psel(self):
+        s = MemoryStore(clock=LogicalClock())
+        pol = get_eviction_policy("drrip")
+        follower = "00000002" + "a" * 56  # region 2: a follower
+        assert duel_region(follower) == 2
+        s._set_counter("psel", PSEL_INIT)  # neutral → rrip wins ties
+        assert pol.insertion_rrpv(s, follower) == RRPV_LONG
+        s._set_counter("psel", 0)  # brrip winning → mostly distant
+        rrpvs = {pol.insertion_rrpv(s, follower) for _ in range(4)}
+        assert RRPV_MAX in rrpvs
+
+
+class TestClockAndAccounting:
+    def test_logical_clock_is_monotone(self):
+        clk = LogicalClock()
+        assert [clk(), clk(), clk()] == [1.0, 2.0, 3.0]
+        clk = LogicalClock(start=10.0, step=0.5)
+        assert clk() == 10.5
+
+    def test_injected_clock_orders_recency(self, store):
+        store.put("a", payload(0))
+        store.put("b", payload(1))
+        store.get("a")  # hit at a later tick than b's creation
+        rows = {r["key"]: r for r in store._eviction_rows()}
+        assert rows["a"]["last_hit_at"] > rows["b"]["created_at"]
+        assert rows["b"]["last_hit_at"] is None
+
+    def test_gc_drop_all_purges_quarantine(self, store):
+        store.put("good", payload(1))
+        store.put("bad", payload(2))
+        # Corrupt "bad" below the checksum, then read it: quarantined.
+        if isinstance(store, MemoryStore):
+            store._rows["bad"]["payload"] = "garbage"
+        else:
+            with store._db() as conn:
+                conn.execute(
+                    "UPDATE results SET payload='garbage' WHERE key='bad'"
+                )
+        assert store.get("bad") is None
+        assert [q["key"] for q in store.quarantined()] == ["bad"]
+        removed = store.gc(drop_all=True)
+        assert removed == 2  # 1 live row + 1 quarantined row
+        assert len(store) == 0
+        assert store.quarantined() == []
+
+    def test_gc_default_leaves_quarantine(self, store):
+        store.put("bad", payload(2))
+        store.quarantine("bad", "testing")
+        assert store.gc() == 0
+        assert [q["key"] for q in store.quarantined()] == ["bad"]
+
+    def test_sqlite_aggregate_stats_match_generic_scan(self, tmp_path):
+        s = SQLiteStore(tmp_path / "agg.sqlite", clock=LogicalClock())
+        s.put("a", payload(1), kind="sweep-cell")
+        s.put("b", payload(2), kind="solve")
+        s.put("c", {"schema": PAYLOAD_SCHEMA_VERSION - 1, "old": True},
+              kind="solve")
+        fast = s._count_aggregates()
+        from repro.store.backend import ResultStore
+
+        slow = ResultStore._count_aggregates(s)
+        assert fast == slow
+        st = s.stats()
+        assert st["entries"] == 3
+        assert st["by_kind"] == {"solve": 2, "sweep-cell": 1}
+        assert st["stale"] == 1
+        assert st["bytes"] == s.total_bytes() > 0
+        s.close()
+
+    def test_memory_len_is_cheap_and_correct(self):
+        s = MemoryStore()
+        for i in range(7):
+            s.put(f"k{i}", payload(i))
+        assert len(s) == 7
+
+    def test_open_store_threads_the_clock(self, tmp_path):
+        from repro.store import open_store
+
+        clk = LogicalClock()
+        s = open_store(str(tmp_path / "clk.sqlite"), clock=clk)
+        s.put("k", payload(0))
+        row = next(s._eviction_rows())
+        assert row["created_at"] == 1.0
+        s.close()
+
+    def test_legacy_sqlite_store_gains_rrpv_column(self, tmp_path):
+        import sqlite3
+
+        db = tmp_path / "legacy.sqlite"
+        conn = sqlite3.connect(db)
+        with conn:
+            conn.execute(
+                "CREATE TABLE results (key TEXT PRIMARY KEY, kind TEXT "
+                "NOT NULL, schema INTEGER NOT NULL, version TEXT NOT "
+                "NULL, created_at REAL NOT NULL, payload TEXT NOT NULL)"
+            )
+            conn.execute(
+                "INSERT INTO results VALUES ('old', 'result', ?, "
+                "'0.0', 1.0, '{\"schema\": 1}')",
+                (PAYLOAD_SCHEMA_VERSION,),
+            )
+        conn.close()
+        s = SQLiteStore(db)
+        row = next(s._eviction_rows())
+        assert row["rrpv"] == 0  # legacy rows read as MRU
+        out = s.evict(policy="rrip", max_rows=0)
+        assert out["evicted"] == 1
+        s.close()
+
+
+class TestBoundedSweepByteIdentity:
+    SWEEP = dict(
+        topologies=("mesh",),
+        sizes=("2x2",),
+        ccrs=(10.0,),
+        apps=("random-8",),
+        replicates=2,
+        seed=5,
+    )
+
+    def test_evict_then_resume_matches_cold(self, tmp_path):
+        cold = report_json(run_scenario_sweep(**self.SWEEP))
+
+        db = str(tmp_path / "bounded.sqlite")
+        bounded = run_scenario_sweep(
+            **self.SWEEP,
+            store=db,
+            eviction={"policy": "drrip", "max_rows": 1},
+        )
+        assert report_json(bounded) == cold
+
+        s = SQLiteStore(db)
+        assert len(s) <= 1  # the cap held
+        assert s.eviction_stats()["total"] >= 1
+        s.evict(policy="lru", max_rows=0)  # drain it completely
+        assert len(s) == 0
+        s.close()
+
+        resumed = run_scenario_sweep(**self.SWEEP, store=db, resume=True)
+        assert report_json(resumed) == cold
+
+    def test_bounded_service_matches_unbounded(self, tmp_path):
+        from repro.store import load_requests, serve_batch
+
+        reqs = load_requests([
+            {"app": "random-6", "topology": "mesh", "size": "2x2",
+             "solver": "greedy", "seed": 3, "ccr": 10.0},
+            {"app": "random-6", "topology": "mesh", "size": "2x2",
+             "solver": "dpa2d1d", "seed": 3, "ccr": 10.0},
+        ])
+
+        def answers(report):
+            # The solver answers must be identical; the cached flags and
+            # the meta hit/miss/location bookkeeping legitimately differ
+            # between a store-less and a bounded run.
+            return [
+                {k: v for k, v in entry.items() if k != "cached"}
+                for entry in report["responses"]
+            ]
+
+        free = serve_batch(reqs, store=None, jobs=1)
+        db = str(tmp_path / "svc.sqlite")
+        bounded = serve_batch(
+            reqs,
+            store=db,
+            jobs=1,
+            eviction={"policy": "lru", "max_rows": 1},
+        )
+        assert report_json({"responses": answers(bounded)}) == \
+            report_json({"responses": answers(free)})
+        s = SQLiteStore(db)
+        assert len(s) <= 1
+        s.close()
