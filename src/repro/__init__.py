@@ -35,8 +35,12 @@ from repro.core import (
     UnsupportedPlatform,
     cycle_times,
     energy,
+    get_kernel,
     is_period_feasible,
+    kernel_names,
     max_cycle_time,
+    set_default_kernel,
+    use_kernel,
     validate,
 )
 from repro.experiments import (
@@ -106,6 +110,10 @@ __all__ = [
     "is_period_feasible",
     "energy",
     "validate",
+    "get_kernel",
+    "kernel_names",
+    "set_default_kernel",
+    "use_kernel",
     # spg
     "SPG",
     "series",

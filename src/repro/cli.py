@@ -64,8 +64,11 @@ with or without it.
 
 ``map``, ``solve``, ``compare``, ``experiment`` and ``sweep`` accept
 ``--topology`` (default ``mesh``, the paper's platform); ``repro
-platform list`` shows the alternatives.  ``repro --version`` prints the
-package version recorded in sweep/store/service metadata.
+platform list`` shows the alternatives.  The same six commands accept
+``--kernel`` selecting the suffix-cluster enumeration kernel
+(``repro/core/kernels.py``; also via ``REPRO_KERNEL``) — a pure speed
+knob, byte-identical outputs under every kernel.  ``repro --version``
+prints the package version recorded in sweep/store/service metadata.
 """
 
 from __future__ import annotations
@@ -76,6 +79,7 @@ import os
 import sys
 
 from repro.core.evaluate import energy, latency
+from repro.core.kernels import kernel_names
 from repro.core.problem import ProblemInstance
 from repro.core.visualize import (
     render_link_utilisation,
@@ -163,7 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
                  "list')",
         )
 
+    def add_kernel_arg(p):
+        p.add_argument(
+            "--kernel", default=None, choices=kernel_names(),
+            help="suffix-cluster enumeration kernel (default: "
+                 "REPRO_KERNEL or the built-in vector kernel; all "
+                 "kernels give byte-identical results)",
+        )
+
     def add_instance_args(p):
+        add_kernel_arg(p)
         p.add_argument(
             "--workflow", "-w", default="FMRadio",
             help="StreamIt name or index (default FMRadio)",
@@ -250,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep (0 = all "
                             "CPUs; results are identical for any value; "
                             "default 1 = serial)")
+    add_kernel_arg(p_exp)
 
     def add_obs_args(p):
         p.add_argument(
@@ -364,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--checkpoint", type=int, default=None, metavar="N",
                       help="file computed cells into --store every N "
                            "cells (default: once at the end)")
+    add_kernel_arg(p_sw)
     add_bounded_store_args(p_sw)
     add_resilience_args(p_sw)
     add_obs_args(p_sw)
@@ -417,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for cache misses (0 = all "
                             "CPUs; responses are identical for any value)")
+    add_kernel_arg(p_srv)
     add_bounded_store_args(p_srv)
     add_resilience_args(p_srv)
     add_obs_args(p_srv)
@@ -859,7 +875,19 @@ def _dispatch(args, out) -> int:
     ``REPRO_PROFILE`` so this process *and* spawned pool workers dump
     cProfile files.  With none of them the command runs exactly as
     before — no session is installed and every hook is a no-op.
+
+    ``--kernel`` (where accepted) scopes the process-default enumeration
+    kernel around the whole command — pool workers inherit it through
+    ``REPRO_KERNEL`` — without touching outputs, which are byte-identical
+    under every kernel.
     """
+    kernel = getattr(args, "kernel", None)
+    if kernel is not None:
+        from repro.core.kernels import use_kernel
+
+        args.kernel = None
+        with use_kernel(kernel):
+            return _dispatch(args, out)
     if args.command not in _OBS_COMMANDS:
         return _run_command(args, out)
     trace = args.trace or os.environ.get("REPRO_TRACE") or None

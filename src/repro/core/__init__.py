@@ -23,6 +23,16 @@ from repro.core.visualize import (
     render_link_utilisation,
     render_mapping,
 )
+from repro.core.kernels import (
+    EnumerationKernel,
+    KERNELS,
+    LatticeCache,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    set_default_kernel,
+    use_kernel,
+)
 from repro.core.partition import (
     quotient_edges,
     is_acyclic_quotient,
@@ -52,6 +62,14 @@ __all__ = [
     "render_label_grid",
     "render_link_utilisation",
     "render_mapping",
+    "EnumerationKernel",
+    "KERNELS",
+    "LatticeCache",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+    "set_default_kernel",
+    "use_kernel",
     "quotient_edges",
     "is_acyclic_quotient",
     "is_dag_partition",

@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Mapping
 
 from repro.core.errors import BudgetExceeded
+from repro.core.kernels import EnumerationKernel, resolve_kernel
+from repro.obs.session import inc, trace_span
 from repro.spg.analysis import ancestor_masks, cut_volume, descendant_masks
 from repro.spg.graph import SPG
 from repro.util.bitset import bit, iter_bits, mask_of
@@ -89,11 +91,23 @@ class IdealLattice:
         :class:`BudgetExceeded`.  The paper bounds the count by
         ``n^ymax``; real workloads with ymax around 12-17 blow any budget,
         which is exactly when DPA1D is reported to fail.
+    kernel:
+        The suffix-cluster enumeration kernel — a name from the
+        :mod:`repro.core.kernels` registry, a kernel instance, or
+        ``None`` for the ambient default (``--kernel`` / the
+        ``REPRO_KERNEL`` environment variable).  Every kernel produces
+        byte-identical output; the choice is purely a speed lever.
     """
 
-    def __init__(self, spg: SPG, budget: int = 200_000) -> None:
+    def __init__(
+        self,
+        spg: SPG,
+        budget: int = 200_000,
+        kernel: "str | EnumerationKernel | None" = None,
+    ) -> None:
         self.spg = spg
         self.budget = budget
+        self.kernel = resolve_kernel(kernel)
         n = spg.n
         self.full = (1 << n) - 1
         self._pred_mask = [mask_of(spg.preds(i)) for i in range(n)]
@@ -108,24 +122,38 @@ class IdealLattice:
         self._cut_table: tuple | None = None
         self._initc: dict[int, list[int]] = {0: []}
         self._init_mask: dict[int, int] = {}
-        # ideal -> (weight cap, masks uint64, works float64): the suffix
-        # clusters enumerated at the loosest cap seen; tighter caps filter
-        # the arrays in C (weight pruning removes whole DFS subtrees, so
-        # the filtered arrays match a pruned enumeration element for
-        # element).
+        # ideal -> (loosest cap, masks, works, filter cap, fmasks, fworks):
+        # the suffix clusters enumerated at the loosest cap seen (kept for
+        # good — weight pruning removes whole DFS subtrees, so tighter caps
+        # are exactly filtered views) plus one memoised filtered view for
+        # the cap currently being solved.
         self._sfx: dict[int, tuple] = {}
+        # cap -> (M, W, counts, offsets, pidx, total): the concatenated
+        # per-ideal arrays in DP ideal order (see suffix_table).
+        self._tables: dict[float, tuple] = {}
+        self._table_loosest: float | None = None
+        self._ideal_pos: tuple | None = None
+        # Per-lattice scratch namespace for kernels (numpy mask tables,
+        # ...); dropped by clear_scratch with the rest.
+        self._kernel_scratch: dict = {}
 
     @staticmethod
-    def for_spg(spg: SPG, budget: int = 200_000) -> "IdealLattice":
+    def for_spg(
+        spg: SPG,
+        budget: int = 200_000,
+        kernel: "str | EnumerationKernel | None" = None,
+    ) -> "IdealLattice":
         """The lattice of ``spg``, cached on the (immutable) graph.
 
         Heuristics re-run on the same SPG at several candidate periods; the
         lattice (and its enumeration, cut volumes, even a cached budget
         failure) only depends on the graph, so one instance per ``(spg,
-        budget)`` pair serves them all.
+        budget, kernel)`` triple serves them all.
         """
+        k = resolve_kernel(kernel)
         return spg.cached(
-            ("ideal_lattice", budget), lambda: IdealLattice(spg, budget)
+            ("ideal_lattice", budget, k.name),
+            lambda: IdealLattice(spg, budget, k),
         )
 
     # ------------------------------------------------------------------
@@ -360,100 +388,263 @@ class IdealLattice:
 
         Same clusters, same order as :meth:`suffix_clusters_weighted`, but
         flat ``uint64``/``float64`` arrays (graphs must fit a machine
-        word).  The arrays are cached per ideal at the loosest cap seen;
-        a tighter cap filters them with one vectorised comparison — the
-        weight pruning of the DFS removes exactly the elements heavier
-        than the cap, so filtering reproduces a pruned enumeration
-        element for element.  choose_period probes the same graph at
-        successively tighter periods and hits this cache on every re-run.
+        word).  The arrays enumerated at the *loosest* cap seen are kept
+        for good; a tighter cap is served as a filtered view (one
+        vectorised comparison — the weight pruning of the DFS removes
+        exactly the elements heavier than the cap, so filtering
+        reproduces a pruned enumeration element for element), with the
+        view for the cap currently being solved memoised.  choose_period
+        probes the loosest period first and tightens, so every re-probe
+        — and, through the worker lattice cache, every sweep cell
+        sharing the graph — hits these arrays instead of re-running the
+        DFS; a probe looser than anything seen re-enumerates once and
+        becomes the new kept cap.
         """
-        import numpy as np
-
         hit = self._sfx.get(ideal)
         if hit is not None:
-            cap, masks, works = hit
+            cap, masks, works, fcap, fmasks, fworks = hit
             if max_weight == cap:
                 return masks, works
             if max_weight < cap:
+                if fcap == max_weight:
+                    return fmasks, fworks
                 sel = works <= max_weight
-                masks, works = masks[sel], works[sel]
-                # choose_period only ever tightens the period, so the
-                # filtered arrays replace the loose ones: the same solve's
-                # later passes (and tighter periods) hit the == case above.
-                self._sfx[ideal] = (max_weight, masks, works)
-                return masks, works
-        masks_l, works_l = self._enumerate_suffix_lists(ideal, max_weight)
-        masks = np.fromiter(masks_l, dtype=np.uint64, count=len(masks_l))
-        works = np.fromiter(works_l, dtype=np.float64, count=len(works_l))
-        self._sfx[ideal] = (max_weight, masks, works)
+                fmasks, fworks = masks[sel], works[sel]
+                self._sfx[ideal] = (
+                    cap, masks, works, max_weight, fmasks, fworks
+                )
+                return fmasks, fworks
+        masks, works = self.kernel.enumerate_arrays(self, ideal, max_weight)
+        self._sfx[ideal] = (max_weight, masks, works, None, None, None)
+        inc("kernel.enumerations")
         return masks, works
 
     def _enumerate_suffix_lists(
         self, ideal: int, max_weight: float, max_clusters: int | None = None
     ) -> tuple[list[int], list[float]]:
-        """The one suffix-cluster DFS, shared by every enumeration front end.
+        """The one suffix-cluster enumeration, dispatched to the kernel.
 
-        ``start`` indexes into a shared candidate list so the common "no
-        freshly exposed stage" case recurses without copying; the
-        enumeration order (and therefore every downstream tie-break) is
-        identical to a naive slice-and-concatenate implementation.
+        Every registered kernel (see :mod:`repro.core.kernels`) produces
+        the same masks and works in the same DFS preorder, so downstream
+        tie-breaks are kernel-independent.
         """
-        masks_l: list[int] = []
-        works_l: list[float] = []
-        sm = self._succ_mask
-        pm = self._pred_mask
-        w = self._weights
-        masks_append = masks_l.append
-        works_append = works_l.append
-        init = self._init_list(ideal)
+        return self.kernel.enumerate_lists(
+            self, ideal, max_weight, max_clusters
+        )
 
-        def rec(
-            h: int,
-            h_weight: float,
-            cands: list[int],
-            start: int,
-            # Hot-loop constants bound as defaults (LOAD_FAST).
-            sm=sm,
-            pm=pm,
-            w=w,
-            ideal=ideal,
-            max_weight=max_weight,
-            max_clusters=max_clusters,
-            masks_append=masks_append,
-            works_append=works_append,
-        ) -> None:
-            end = len(cands)
-            for idx in range(start, end):
-                i = cands[idx]
-                nw = h_weight + w[i]
-                if nw > max_weight:
-                    continue
-                nh = h | (1 << i)
-                masks_append(nh)
-                works_append(nw)
-                if max_clusters is not None and len(masks_l) > max_clusters:
-                    raise BudgetExceeded(
-                        f"more than {max_clusters} suffix clusters "
-                        f"for one ideal"
+    def suffix_table(
+        self, max_weight: float, transition_budget: int | None = None
+    ) -> tuple:
+        """The whole lattice's suffix clusters as one flat DP table.
+
+        Returns ``(M, W, counts, offsets, pidx, total)``: the per-ideal
+        ``suffix_arrays`` concatenated in DP ideal order (``counts[k]``
+        transitions for ``ideals()[k]``, sliced by ``offsets``), with
+        ``pidx`` the value-index of each transition's prefix ``ideal ^
+        mask`` in :meth:`cut_table`'s sorted array.  Word-sized graphs
+        only.
+
+        Like the per-ideal arrays the table built at the loosest cap is
+        kept and tighter caps are derived by one filtering pass, so a
+        re-solve at a previously seen (or tighter) cap does no per-ideal
+        Python at all.  When ``transition_budget`` is given the build
+        raises :class:`BudgetExceeded` at the same cumulative transition
+        count as a per-ideal counting loop (cached tables re-check their
+        total against the caller's budget, which may differ per solve).
+        """
+        import numpy as np
+
+        budget_msg = (
+            f"DPA1D exceeded {transition_budget} DP transitions"
+        )
+        tbl = self._tables.get(max_weight)
+        if tbl is None:
+            loosest = self._table_loosest
+            if loosest is not None and max_weight < loosest:
+                M, W, counts, offsets, pidx, _total = self._tables[loosest]
+                keep = W <= max_weight
+                cs = np.zeros(len(keep) + 1, dtype=np.intp)
+                np.cumsum(keep, out=cs[1:])
+                fcounts = (cs[offsets[1:]] - cs[offsets[:-1]]).astype(
+                    np.intp
+                )
+                foffsets = np.zeros(len(fcounts) + 1, dtype=np.intp)
+                np.cumsum(fcounts, out=foffsets[1:])
+                tbl = (
+                    M[keep], W[keep], fcounts, foffsets, pidx[keep],
+                    int(foffsets[-1]),
+                )
+                self._tables[max_weight] = tbl
+                inc("kernel.table_filtered")
+            else:
+                tbl = self._build_table(max_weight, transition_budget)
+                self._tables[max_weight] = tbl
+                if loosest is None or max_weight > loosest:
+                    self._table_loosest = max_weight
+                inc("kernel.table_builds")
+        else:
+            inc("kernel.table_hits")
+        if transition_budget is not None and tbl[5] > transition_budget:
+            raise BudgetExceeded(budget_msg)
+        return tbl
+
+    def _build_table(
+        self, max_weight: float, transition_budget: int | None
+    ) -> tuple:
+        """Fresh ``suffix_table`` build, counting against the budget as
+        it goes so a doomed run raises without enumerating the rest."""
+        import numpy as np
+
+        ideals = self.ideals()
+        vals, _cuts = self.cut_table()
+        n_ideals = len(ideals)
+        counts = np.zeros(n_ideals, dtype=np.intp)
+        masks_parts: list = []
+        works_parts: list = []
+        transitions = 0
+        budget_msg = f"DPA1D exceeded {transition_budget} DP transitions"
+        if not self._sfx:
+            # Cold build: hand the kernel whole chunks of ideals so a
+            # batching kernel expands thousands of DFS trees as one
+            # forest.  The per-ideal slices land in ``_sfx`` so later
+            # ``suffix_arrays``/``reconstruct`` calls hit the cache.
+            nz = [(k, ideal) for k, ideal in enumerate(ideals) if ideal]
+            chunk_size = 1024
+            for s in range(0, len(nz), chunk_size):
+                chunk = nz[s:s + chunk_size]
+                chunk_ideals = [ideal for _k, ideal in chunk]
+                remaining = (
+                    None if transition_budget is None
+                    else transition_budget - transitions
+                )
+                M, W, ccounts = self.kernel.enumerate_bulk(
+                    self, chunk_ideals, max_weight,
+                    node_budget=remaining, budget_msg=budget_msg,
+                )
+                off = 0
+                for (k, ideal), t in zip(chunk, ccounts):
+                    t = int(t)
+                    counts[k] = t
+                    self._sfx[ideal] = (
+                        max_weight, M[off:off + t], W[off:off + t],
+                        None, None, None,
                     )
-                rem = ideal ^ nh
-                m = pm[i] & rem
-                if m:
-                    fresh = []
-                    while m:
-                        low = m & -m
-                        p = low.bit_length() - 1
-                        m ^= low
-                        if sm[p] & rem == 0:
-                            fresh.append(p)
-                    if fresh:
-                        rec(nh, nw, cands[idx + 1 : end] + fresh, 0)
-                        continue
-                if idx + 1 < end:
-                    rec(nh, nw, cands, idx + 1)
+                    off += t
+                transitions += int(M.size)
+                if M.size:
+                    masks_parts.append(M)
+                    works_parts.append(W)
+            inc("kernel.enumerations", len(nz))
+        else:
+            for k, ideal in enumerate(ideals):
+                if ideal == 0:
+                    continue
+                masks, works = self.suffix_arrays(ideal, max_weight)
+                t = len(masks)
+                if t == 0:
+                    continue
+                counts[k] = t
+                transitions += t
+                if transition_budget is not None and transitions > (
+                    transition_budget
+                ):
+                    raise BudgetExceeded(budget_msg)
+                masks_parts.append(masks)
+                works_parts.append(works)
+        offsets = np.zeros(n_ideals + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        if not masks_parts:
+            empty_m = np.empty(0, np.uint64)
+            return (empty_m, np.empty(0), counts, offsets,
+                    np.empty(0, np.intp), 0)
+        M = np.concatenate(masks_parts)
+        W = np.concatenate(works_parts)
+        ideal_vals, _epos = self.ideal_positions()
+        owners = np.repeat(ideal_vals, counts)
+        P = np.bitwise_xor(M, owners)
+        pidx = np.searchsorted(vals, P)
+        return (M, W, counts, offsets, pidx, transitions)
 
-        rec(0, 0.0, init, 0)
-        return masks_l, works_l
+    def ideal_positions(self) -> tuple:
+        """``(ideal_vals, epos)``: every ideal as ``uint64`` in DP order
+        and its index into :meth:`cut_table`'s value-sorted array."""
+        if self._ideal_pos is None:
+            import numpy as np
+
+            ideals = self.ideals()
+            vals, _cuts = self.cut_table()
+            ideal_vals = np.fromiter(
+                ideals, dtype=np.uint64, count=len(ideals)
+            )
+            self._ideal_pos = (ideal_vals, np.searchsorted(vals, ideal_vals))
+        return self._ideal_pos
+
+    def warm(
+        self, max_weight: float, transition_budget: int | None = None
+    ) -> dict:
+        """Pre-enumerate everything a solve at cap ``max_weight`` needs.
+
+        Fills the ideal enumeration, cut volumes and — for word-sized
+        graphs — the flat suffix table, so subsequent solves at this (or
+        any tighter) cap are pure array work.  Returns ``{"ideals": ...,
+        "transitions": ...}``.
+        """
+        with trace_span(
+            "kernel.warm", kernel=self.kernel.name, cap=float(max_weight)
+        ):
+            ideals = self.ideals()
+            if self.spg.n <= 62:
+                self.cut_table()
+                tbl = self.suffix_table(max_weight, transition_budget)
+                return {"ideals": len(ideals), "transitions": tbl[5]}
+            transitions = 0
+            for ideal in ideals:
+                if ideal:
+                    transitions += len(
+                        self.suffix_clusters_weighted(ideal, max_weight)
+                    )
+            return {"ideals": len(ideals), "transitions": transitions}
+
+    # ------------------------------------------------------------------
+    def scratch_stats(self) -> dict:
+        """Sizes of the per-ideal enumeration scratch (see clear_scratch).
+
+        ``nodes`` counts every cached (mask, work) pair — loosest-cap
+        arrays, memoised filtered views and flat tables — and ``bytes``
+        estimates their footprint (16 bytes a pair), so sweep drivers
+        and the worker lattice cache can bound memory.
+        """
+        sfx_nodes = 0
+        for _cap, masks, _w, _fcap, fmasks, _fw in self._sfx.values():
+            sfx_nodes += len(masks)
+            if fmasks is not None:
+                sfx_nodes += len(fmasks)
+        table_nodes = sum(t[5] for t in self._tables.values())
+        init_items = sum(len(v) for v in self._initc.values())
+        nodes = sfx_nodes + table_nodes
+        return {
+            "sfx_ideals": len(self._sfx),
+            "sfx_nodes": sfx_nodes,
+            "tables": len(self._tables),
+            "table_nodes": table_nodes,
+            "init_lists": len(self._initc),
+            "nodes": nodes,
+            "bytes": 16 * nodes + 8 * init_items,
+        }
+
+    def clear_scratch(self) -> None:
+        """Drop rebuildable enumeration scratch, keeping the lattice.
+
+        The ideal enumeration, cut volumes and any cached budget failure
+        survive (they are the expensive, bounded part); the per-ideal
+        suffix arrays, filtered views, flat tables, init lists and
+        kernel scratch are released and will be rebuilt on demand.
+        """
+        self._sfx.clear()
+        self._tables.clear()
+        self._table_loosest = None
+        self._initc = {0: []}
+        self._kernel_scratch.clear()
 
     def _init_list(self, ideal: int) -> list[int]:
         """Successor-free stages of ``ideal``, ascending (cached)."""

@@ -39,7 +39,13 @@ INF = float("inf")
 class _UnilineDP:
     """State shared between the forward DP pass and the reconstruction."""
 
-    def __init__(self, problem: ProblemInstance, r: int, ideal_budget: int):
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        r: int,
+        ideal_budget: int,
+        kernel=None,
+    ):
         self.spg = problem.spg
         self.model = problem.grid.model
         self.T = problem.period
@@ -48,8 +54,11 @@ class _UnilineDP:
         self.cap_bytes = self.model.link_capacity(self.T)
         # The lattice (ideal enumeration + cut volumes) only depends on the
         # SPG, so it is shared across the several periods choose_period
-        # probes on the same graph.
-        self.lat = IdealLattice.for_spg(self.spg, budget=ideal_budget)
+        # probes on the same graph — and, through the worker lattice
+        # cache, across sweep cells with the same graph content.
+        self.lat = IdealLattice.for_spg(
+            self.spg, budget=ideal_budget, kernel=kernel
+        )
         self._ecal: dict[int, tuple[float, float] | None] = {}
         # best[ideal][k] = optimal energy of ideal on exactly k+... index k
         # covers 0..r clusters (index 0 only finite for the empty ideal).
@@ -146,46 +155,20 @@ class _UnilineDP:
         leak = model.comp_leak * T
         e8 = 8.0  # comm energy is (8.0 * cut) * e_bit, kept in this order
         e_bit = model.e_bit
-        suffix_arrays = lat.suffix_arrays
 
-        # Budget pass: enumerate (into the lattice's per-ideal array cache)
-        # and count, in the same ideal order the DP uses, collecting the
-        # per-ideal arrays into one flat buffer as it goes.  A run destined
-        # to blow its transition budget raises here — at the exact same
+        # The flat transition table: per-ideal suffix arrays concatenated
+        # in DP ideal order, built (and cached, with tighter caps served
+        # as filtered views) by the lattice.  A run destined to blow its
+        # transition budget raises in there — at the exact same
         # cumulative count as a fused loop — without paying for any DP
         # work; a surviving run slices the flat buffer below with no
-        # further per-ideal Python.
-        counts = np.zeros(n_ideals, dtype=np.intp)
-        masks_parts: list[np.ndarray] = []
-        works_parts: list[np.ndarray] = []
-        transitions = 0
-        for k, ideal in enumerate(ideals):
-            if ideal == 0:
-                continue
-            masks, works = suffix_arrays(ideal, cap_work)
-            t = len(masks)
-            if t == 0:
-                continue
-            counts[k] = t
-            transitions += t
-            if transitions > transition_budget:
-                raise BudgetExceeded(
-                    f"DPA1D exceeded {transition_budget} DP transitions"
-                )
-            masks_parts.append(masks)
-            works_parts.append(works)
-        if not masks_parts:
+        # per-ideal Python at all when the table is warm.
+        M, W, counts, offsets, pidx, _total = lat.suffix_table(
+            cap_work, transition_budget
+        )
+        if M.size == 0:
             return self._finish(self._row(full))
-
-        M = np.concatenate(masks_parts)
-        W = np.concatenate(works_parts)
-        ideal_vals = np.fromiter(ideals, dtype=np.uint64, count=n_ideals)
-        epos = np.searchsorted(vals, ideal_vals)  # value-index per ideal
-        owners = np.repeat(ideal_vals, counts)
-        P = np.bitwise_xor(M, owners)
-        pidx = np.searchsorted(vals, P)
-        offsets = np.zeros(n_ideals + 1, dtype=np.intp)
-        np.cumsum(counts, out=offsets[1:])
+        ideal_vals, epos = lat.ideal_positions()
         # Per-transition costs, computed once for the whole lattice: the
         # cluster's one-core energy plus the dynamic cost of the prefix cut.
         feasible = W[:, None] <= caps_arr[None, :]
@@ -329,6 +312,7 @@ def solve_uniline(
     r: int,
     ideal_budget: int = 120_000,
     transition_budget: int = 1_000_000,
+    kernel=None,
 ) -> tuple[float, list[list[int]], list[float]]:
     """Optimal clustering of ``problem.spg`` on a 1 x ``r`` uni-directional line.
 
@@ -336,8 +320,10 @@ def solve_uniline(
     Raises :class:`HeuristicFailure` (or its subclass
     :class:`BudgetExceeded`) when the ideal lattice or the transition count
     exceeds its budget, or when no feasible clustering exists.
+    ``kernel`` picks the enumeration kernel (byte-identical results; see
+    :mod:`repro.core.kernels`); ``None`` uses the ambient default.
     """
-    dp = _UnilineDP(problem, r, ideal_budget)
+    dp = _UnilineDP(problem, r, ideal_budget, kernel=kernel)
     e, k_best = dp.solve(transition_budget)
     clusters, speeds = dp.reconstruct(k_best)
     return e, clusters, speeds
@@ -349,6 +335,7 @@ def dpa1d_mapping(
     rng=None,
     ideal_budget: int = 120_000,
     transition_budget: int = 1_000_000,
+    kernel=None,
 ) -> Mapping:
     """Optimal 1D clustering mapped along the topology's line embedding.
 
@@ -362,7 +349,7 @@ def dpa1d_mapping(
     grid = problem.grid
     spg = problem.spg
     _, clusters, speeds = solve_uniline(
-        problem, grid.n_cores, ideal_budget, transition_budget
+        problem, grid.n_cores, ideal_budget, transition_budget, kernel
     )
     order = grid.line_order()
     het = grid.heterogeneous

@@ -1,0 +1,506 @@
+"""Tests for the enumeration-kernel layer and cross-cell lattice reuse.
+
+Covers the kernel registry and ambient selection, the vector kernel's
+byte-exact equivalence to the reference DFS (hypothesis battery over
+random SPGs x caps x budgets, including ``BudgetExceeded`` parity), the
+keep-loosest ``suffix_arrays``/``suffix_table`` caches, the bounded
+per-worker :class:`LatticeCache`, and the ``--kernel`` CLI plumbing.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+import pytest
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.errors import BudgetExceeded
+from repro.core.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_ENV,
+    KERNELS,
+    EnumerationKernel,
+    LatticeCache,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    reset_worker_cache,
+    resolve_kernel,
+    set_default_kernel,
+    use_kernel,
+    worker_lattice_cache,
+)
+from repro.core.partition import IdealLattice
+from repro.spg import chain, fork_join
+from repro.spg.random_gen import random_spg, random_spg_with_elevation
+
+
+def lattice(spg, kernel, budget=1 << 20):
+    return IdealLattice(spg, budget=budget, kernel=kernel)
+
+
+# ---------------------------------------------------------------------------
+# Registry + ambient selection
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "python" in kernel_names()
+        assert "vector" in kernel_names()
+        assert DEFAULT_KERNEL in kernel_names()
+
+    def test_get_kernel_singleton(self):
+        assert get_kernel("vector") is get_kernel("vector")
+        assert get_kernel("vector").name == "vector"
+
+    def test_unknown_kernel_names_available(self):
+        with pytest.raises(KeyError) as exc:
+            get_kernel("fortran")
+        msg = str(exc.value)
+        assert "fortran" in msg and "python" in msg and "vector" in msg
+
+    def test_register_and_unregister(self):
+        @register_kernel("test-null", "test-only kernel")
+        class NullKernel(EnumerationKernel):
+            def enumerate_lists(self, lat, ideal, max_weight,
+                                max_clusters=None):
+                return [], []
+
+        try:
+            assert get_kernel("test-null").enumerate_lists(
+                None, 3, 1.0
+            ) == ([], [])
+        finally:
+            KERNELS.pop("test-null")
+
+    def test_set_default_kernel_exports_env(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        set_default_kernel("python")
+        try:
+            assert os.environ[KERNEL_ENV] == "python"
+            assert resolve_kernel().name == "python"
+        finally:
+            set_default_kernel(None)
+        assert KERNEL_ENV not in os.environ
+        assert resolve_kernel().name == DEFAULT_KERNEL
+
+    def test_set_default_kernel_validates(self):
+        with pytest.raises(KeyError):
+            set_default_kernel("no-such-kernel")
+
+    def test_use_kernel_scopes_and_restores(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "vector")
+        with use_kernel("python"):
+            assert resolve_kernel().name == "python"
+            assert os.environ[KERNEL_ENV] == "python"
+        assert os.environ[KERNEL_ENV] == "vector"
+        assert resolve_kernel().name == "vector"
+
+    def test_resolve_precedence(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "python")
+        assert resolve_kernel().name == "python"  # env beats built-in
+        assert resolve_kernel("vector").name == "vector"  # explicit wins
+        k = get_kernel("python")
+        assert resolve_kernel(k) is k  # instances pass through
+
+    def test_lattice_records_kernel(self):
+        lat = lattice(random_spg(6, rng=0), "python")
+        assert lat.kernel.name == "python"
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis battery: vector == python, byte for byte
+# ---------------------------------------------------------------------------
+class TestKernelParity:
+    @given(
+        n=st.integers(min_value=3, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+        cap_frac=st.floats(min_value=0.1, max_value=1.2),
+    )
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_per_ideal_arrays_identical(self, n, seed, cap_frac):
+        spg = random_spg(n, rng=seed)
+        cap = sum(spg.weights) * cap_frac
+        lp = lattice(spg, "python")
+        lv = lattice(spg, "vector")
+        for ideal in lp.ideals():
+            if not ideal:
+                continue
+            mp, wp = lp.suffix_arrays(ideal, cap)
+            mv, wv = lv.suffix_arrays(ideal, cap)
+            # Same masks, same works, same (DFS preorder) order.
+            assert mp.dtype == mv.dtype == np.uint64
+            assert np.array_equal(mp, mv)
+            assert wp.tobytes() == wv.tobytes()
+
+    @given(
+        n=st.integers(min_value=4, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+        cap_frac=st.floats(min_value=0.2, max_value=1.1),
+    )
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_suffix_table_identical(self, n, seed, cap_frac):
+        spg = random_spg(n, rng=seed)
+        cap = sum(spg.weights) * cap_frac
+        tp = lattice(spg, "python").suffix_table(cap)
+        tv = lattice(spg, "vector").suffix_table(cap)
+        for a, b in zip(tp, tv):
+            if isinstance(a, np.ndarray):
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+            else:
+                assert a == b
+
+    @given(budget=st.integers(min_value=1, max_value=400))
+    @settings(max_examples=25, deadline=None)
+    def test_cluster_budget_parity(self, budget):
+        spg = random_spg(10, rng=3)
+        cap = sum(spg.weights)
+        lp = lattice(spg, "python")
+        lv = lattice(spg, "vector")
+        for ideal in lp.ideals():
+            if not ideal:
+                continue
+            rp = rv = None
+            try:
+                got_p = lp.suffix_clusters_weighted(ideal, cap, budget)
+            except BudgetExceeded as exc:
+                rp = str(exc)
+            try:
+                got_v = lv.suffix_clusters_weighted(ideal, cap, budget)
+            except BudgetExceeded as exc:
+                rv = str(exc)
+            # Raise at the same cumulative count, same message.
+            assert rp == rv
+            if rp is None:
+                assert got_p == got_v
+
+    @given(budget=st.integers(min_value=1, max_value=3000))
+    @settings(max_examples=25, deadline=None)
+    def test_transition_budget_parity(self, budget):
+        spg = random_spg(12, rng=7)
+        cap = sum(spg.weights) * 0.8
+        rp = rv = None
+        try:
+            lattice(spg, "python").suffix_table(cap, budget)
+        except BudgetExceeded as exc:
+            rp = str(exc)
+        try:
+            lattice(spg, "vector").suffix_table(cap, budget)
+        except BudgetExceeded as exc:
+            rv = str(exc)
+        assert rp == rv
+        if rp is not None:
+            assert f"{budget} DP transitions" in rp
+
+    def test_multi_chunk_bulk_build(self):
+        # > 1024 nonzero ideals exercises the chunked bulk path.
+        spg = fork_join(12)
+        lp = lattice(spg, "python")
+        lv = lattice(spg, "vector")
+        assert len(lv.ideals()) > 1024
+        cap = sum(spg.weights) * 0.6
+        tp = lp.suffix_table(cap)
+        tv = lv.suffix_table(cap)
+        assert tp[5] == tv[5] > 0
+        for a, b in zip(tp[:5], tv[:5]):
+            assert np.array_equal(a, b)
+
+    def test_root_candidates_fallback_without_init_mask(self):
+        spg = random_spg(9, rng=11)
+        lv = lattice(spg, "vector")
+        cap = sum(spg.weights)
+        want = lv.suffix_table(cap)
+        lv2 = lattice(spg, "vector")
+        lv2.ideals()
+        lv2._init_mask = {}  # force the _init_list fallback
+        got = lv2.suffix_table(cap)
+        for a, b in zip(want[:5], got[:5]):
+            assert np.array_equal(a, b)
+
+    def test_large_graph_falls_back_to_python(self):
+        spg = chain(70)
+        lv = lattice(spg, "vector")
+        lp = lattice(spg, "python")
+        cap = sum(spg.weights)
+        ideal = next(i for i in lv.ideals() if i)
+        assert lv.suffix_clusters_weighted(
+            ideal, cap
+        ) == lp.suffix_clusters_weighted(ideal, cap)
+
+    def test_solver_outputs_identical_under_kernels(self):
+        from repro.core.problem import ProblemInstance
+        from repro.experiments import choose_period
+        from repro.heuristics.dpa1d import dpa1d_mapping
+        from repro.platform.cmp import CMPGrid
+
+        spg = random_spg(20, rng=4, ccr=10.0)
+        grid = CMPGrid(3, 3)
+        T = choose_period(spg, grid, heuristics=("Greedy",), rng=4).period
+        prob = ProblemInstance(spg, grid, T)
+        maps = {}
+        for kernel in kernel_names():
+            m = dpa1d_mapping(prob, rng=4, kernel=kernel)
+            maps[kernel] = (m.alloc, m.speeds)
+        assert maps["python"] == maps["vector"]
+
+
+# ---------------------------------------------------------------------------
+# Keep-loosest caches (satellite: loose -> tight -> loose regression)
+# ---------------------------------------------------------------------------
+class TestSuffixCaches:
+    def test_loosest_arrays_survive_tightening(self):
+        spg = random_spg(10, rng=1)
+        lat = lattice(spg, "vector")
+        total = sum(spg.weights)
+        ideal = max(lat.ideals())
+        loose_m, loose_w = lat.suffix_arrays(ideal, total)
+        tight_m, tight_w = lat.suffix_arrays(ideal, total * 0.3)
+        assert tight_m.size <= loose_m.size
+        # The loose-cap query after tightening returns the *same* kept
+        # arrays — the regression was overwriting them with the view.
+        again_m, again_w = lat.suffix_arrays(ideal, total)
+        assert again_m is loose_m and again_w is loose_w
+
+    def test_filtered_view_memoised_per_cap(self):
+        spg = random_spg(10, rng=1)
+        lat = lattice(spg, "vector")
+        total = sum(spg.weights)
+        ideal = max(lat.ideals())
+        lat.suffix_arrays(ideal, total)
+        a1, _ = lat.suffix_arrays(ideal, total * 0.4)
+        a2, _ = lat.suffix_arrays(ideal, total * 0.4)
+        assert a1 is a2  # memoised view for the current solve cap
+        b1, _ = lat.suffix_arrays(ideal, total * 0.2)
+        assert b1 is not a1  # a new cap derives (and memoises) a new view
+
+    def test_filtered_view_matches_fresh_enumeration(self):
+        spg = random_spg(11, rng=6)
+        total = sum(spg.weights)
+        warm = lattice(spg, "vector")
+        cold = lattice(spg, "vector")
+        for ideal in warm.ideals():
+            if not ideal:
+                continue
+            warm.suffix_arrays(ideal, total)  # loosest first
+            vm, vw = warm.suffix_arrays(ideal, total * 0.35)
+            cm, cw = cold.suffix_arrays(ideal, total * 0.35)
+            assert np.array_equal(vm, cm)
+            assert vw.tobytes() == cw.tobytes()
+
+    def test_looser_cap_reenumerates_and_replaces(self):
+        spg = random_spg(9, rng=2)
+        lat = lattice(spg, "vector")
+        total = sum(spg.weights)
+        ideal = max(lat.ideals())
+        tight_m, _ = lat.suffix_arrays(ideal, total * 0.3)
+        loose_m, _ = lat.suffix_arrays(ideal, total)
+        assert loose_m.size >= tight_m.size
+        again, _ = lat.suffix_arrays(ideal, total)
+        assert again is loose_m  # the looser cap became the kept one
+
+    def test_suffix_table_cached_and_filtered(self):
+        spg = random_spg(12, rng=9)
+        lat = lattice(spg, "vector")
+        total = sum(spg.weights)
+        t1 = lat.suffix_table(total)
+        assert lat.suffix_table(total) is t1  # exact-cap hit
+        t2 = lat.suffix_table(total * 0.5)  # filtered derivation
+        fresh = lattice(spg, "vector").suffix_table(total * 0.5)
+        for a, b in zip(t2, fresh):
+            if isinstance(a, np.ndarray):
+                assert np.array_equal(a, b)
+            else:
+                assert a == b
+
+    def test_cached_table_rechecks_budget(self):
+        spg = random_spg(12, rng=9)
+        lat = lattice(spg, "vector")
+        total = sum(spg.weights)
+        tbl = lat.suffix_table(total)
+        assert tbl[5] > 10
+        with pytest.raises(BudgetExceeded, match="10 DP transitions"):
+            lat.suffix_table(total, 10)  # same cap, tighter budget
+
+    def test_warm_reports_and_prefills(self):
+        spg = random_spg(12, rng=9)
+        lat = lattice(spg, "vector")
+        total = sum(spg.weights)
+        stats = lat.warm(total * 0.8)
+        assert stats["ideals"] == len(lat.ideals())
+        assert stats["transitions"] == lat.suffix_table(total * 0.8)[5]
+
+    def test_scratch_stats_and_clear(self):
+        spg = random_spg(10, rng=4)
+        lat = lattice(spg, "vector")
+        total = sum(spg.weights)
+        before = lat.suffix_table(total)
+        stats = lat.scratch_stats()
+        assert stats["nodes"] > 0 and stats["bytes"] > 0
+        assert stats["tables"] == 1
+        lat.clear_scratch()
+        empty = lat.scratch_stats()
+        assert empty["nodes"] == 0 and empty["tables"] == 0
+        # Rebuild after clearing is byte-identical.
+        after = lat.suffix_table(total)
+        for a, b in zip(before, after):
+            if isinstance(a, np.ndarray):
+                assert np.array_equal(a, b)
+            else:
+                assert a == b
+
+
+# ---------------------------------------------------------------------------
+# LatticeCache: the per-worker cross-cell reuse
+# ---------------------------------------------------------------------------
+class TestLatticeCache:
+    def test_adopt_then_seed_rebinds(self):
+        spg = random_spg(8, rng=0)
+        lat = IdealLattice.for_spg(spg, budget=1 << 16)
+        lat.ideals()
+        cache = LatticeCache()
+        assert cache.adopt(spg) == 1
+        spg._derived.clear()
+        clone = random_spg(8, rng=0)  # same content, fresh object
+        assert cache.seed(clone) is True
+        lat2 = IdealLattice.for_spg(clone, budget=1 << 16)
+        assert lat2 is lat and lat2.spg is clone
+
+    def test_seed_miss_on_different_content(self):
+        cache = LatticeCache()
+        spg = random_spg(8, rng=0)
+        IdealLattice.for_spg(spg, budget=1 << 16).ideals()
+        cache.adopt(spg)
+        other = random_spg(8, rng=1)
+        assert cache.seed(other) is False
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = LatticeCache(max_entries=2)
+        graphs = [random_spg(6, rng=r) for r in range(3)]
+        for g in graphs:
+            IdealLattice.for_spg(g, budget=1 << 16).ideals()
+            cache.adopt(g)
+            g._derived.clear()
+        assert len(cache) == 2 and cache.evicted == 1
+        assert cache.seed(random_spg(6, rng=0)) is False  # oldest gone
+        assert cache.seed(random_spg(6, rng=2)) is True
+
+    def test_scratch_trim_on_adopt(self):
+        cache = LatticeCache(max_scratch_nodes=0)
+        spg = random_spg(8, rng=3)
+        lat = IdealLattice.for_spg(spg, budget=1 << 16)
+        lat.warm(sum(spg.weights))
+        assert lat.scratch_stats()["nodes"] > 0
+        cache.adopt(spg)
+        assert cache.trimmed == 1
+        assert lat.scratch_stats()["nodes"] == 0
+
+    def test_stats_shape(self):
+        cache = LatticeCache()
+        s = cache.stats()
+        assert s["entries"] == 0 and s["hits"] == 0
+        spg = random_spg(6, rng=0)
+        IdealLattice.for_spg(spg, budget=1 << 16).ideals()
+        cache.adopt(spg)
+        s = cache.stats()
+        assert s["entries"] == 1 and s["lattices"] == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_worker_cache_reset(self):
+        c1 = worker_lattice_cache()
+        assert worker_lattice_cache() is c1
+        reset_worker_cache()
+        assert worker_lattice_cache() is not c1
+
+    def test_run_tasks_shares_lattices_across_cells(self):
+        from repro.experiments.parallel import random_panel_task, run_tasks
+        from repro.platform.cmp import CMPGrid
+
+        spg = random_spg(10, rng=5, ccr=10.0)
+        grid = CMPGrid(2, 2)
+        task = (spg, grid, ("DPA1D",), 5, None)
+        first, second = run_tasks(random_panel_task, [task, task], jobs=1)
+        assert first.period == second.period
+        assert first.results["DPA1D"].ok == second.results["DPA1D"].ok
+        cache = worker_lattice_cache()
+        # The second cell found the first cell's lattice by content.
+        assert cache.stats()["hits"] >= 1
+
+    def test_run_tasks_resets_cache_per_run(self):
+        from repro.experiments.parallel import random_panel_task, run_tasks
+        from repro.platform.cmp import CMPGrid
+
+        spg = random_spg(10, rng=5, ccr=10.0)
+        task = (spg, CMPGrid(2, 2), ("DPA1D",), 5, None)
+        run_tasks(random_panel_task, [task], jobs=1)
+        seeded = worker_lattice_cache()
+        assert seeded.stats()["entries"] >= 1
+        run_tasks(random_panel_task, [task], jobs=1)
+        # A fresh engine run starts cold: its first cell is a miss again,
+        # so repeated identical runs report identical telemetry.
+        assert worker_lattice_cache() is not seeded
+        assert worker_lattice_cache().stats()["misses"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# CLI / sweep plumbing
+# ---------------------------------------------------------------------------
+class TestKernelPlumbing:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_cli_kernel_outputs_identical(self):
+        base = ("map", "-w", "DCT", "-H", "DPA1D", "--seed", "1")
+        _, want = self.run_cli(*base)
+        for kernel in kernel_names():
+            code, got = self.run_cli(*base, "--kernel", kernel)
+            assert code == 0
+            assert got == want
+
+    def test_cli_kernel_restores_ambient(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        code, _ = self.run_cli(
+            "map", "-w", "DCT", "-H", "DPA1D", "--kernel", "python"
+        )
+        assert code == 0
+        assert KERNEL_ENV not in os.environ
+        assert resolve_kernel().name == DEFAULT_KERNEL
+
+    def test_cli_rejects_unknown_kernel(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["map", "-w", "DCT", "--kernel", "numba"],
+                 out=io.StringIO())
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_env_var_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "python")
+        lat = IdealLattice(random_spg(6, rng=0), budget=1 << 16)
+        assert lat.kernel.name == "python"
+
+    def test_sweep_kernel_param_identical_report(self):
+        from repro.experiments.scenarios import run_scenario_sweep
+
+        kw = dict(
+            topologies=["mesh"], sizes=[(2, 2)], ccrs=[10.0],
+            apps=["random-8"], replicates=1, seed=1,
+        )
+        reports = {
+            k: run_scenario_sweep(kernel=k, **kw) for k in kernel_names()
+        }
+        assert reports["python"] == reports["vector"]
