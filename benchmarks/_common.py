@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
+import time
 from pathlib import Path
 
 from repro.experiments import (
@@ -30,6 +32,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: The shared cross-benchmark report at the repository root.
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf_core.json"
+
+#: Append-only run log next to it (one JSONL line per bench run) — the
+#: input to the ``repro bench check`` regression sentinel.
+BENCH_HISTORY = BENCH_JSON.parent / "BENCH_history.jsonl"
 
 #: Benchmark-scale replication settings (paper values in parentheses).
 RANDOM_REPLICATES_50 = 3  # paper: 100 graphs per elevation point
@@ -97,4 +103,38 @@ def merge_bench_sections(sections: dict, path: Path = BENCH_JSON) -> Path:
         merged = json.loads(path.read_text())
     merged.update(sections)
     path.write_text(json.dumps(merged, indent=1, sort_keys=True))
+    # Every merge also appends one line to the run log so the speedup
+    # trajectory is machine-checkable (``repro bench check``).  Only the
+    # sections this run produced are recorded — the history captures
+    # what each run measured, not the merged file's state.
+    record_history(sections, history=path.parent / BENCH_HISTORY.name)
     return path
+
+
+def _git_commit() -> str | None:
+    """Best-effort short commit id of the repo being benchmarked."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_JSON.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def record_history(sections: dict, history: Path = BENCH_HISTORY) -> Path:
+    """Append one bench-history line for ``sections``.
+
+    The commit id and wall-clock timestamp are gathered *here* — bench
+    scripts are the one place allowed to ask git and the clock —
+    and injected into the clock-free ``repro.obs.history`` writer.
+    """
+    from repro.obs.history import append_history
+
+    return append_history(
+        sections, history, commit=_git_commit(), timestamp=time.time()
+    )

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Trace analytics end to end: record, export, critical path, diff.
+
+Builds on ``examples/trace_sweep.py`` (which stops at the summary
+table) and walks the post-processing layer:
+
+1. record two sweep traces — a small grid and a larger one, standing in
+   for "before" and "after" recordings of a code change;
+2. **hotspots + critical path**: self-time ranking (parents don't
+   absorb their children's time) and the longest root->leaf chain;
+3. **export**: Chrome trace-event JSON for chrome://tracing / Perfetto
+   and collapsed stacks for flamegraph.pl / speedscope;
+4. **diff**: per-kind count/total/self deltas between the recordings,
+   and the ``--budget-pct`` gate that turns growth into a nonzero
+   exit — the same check CI runs on its own trace.
+
+Run:  PYTHONPATH=src python examples/trace_analysis.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.experiments import run_scenario_sweep
+from repro.obs import (
+    critical_path,
+    diff_regressions,
+    diff_traces,
+    export_trace,
+    hotspots,
+    load_trace,
+    observability,
+)
+
+BASE = dict(
+    topologies=("mesh",),
+    sizes=("3x3",),
+    ccrs=(10.0,),
+    apps=("random-12",),
+    seed=2011,
+)
+
+
+def record(path: Path, replicates: int) -> None:
+    with observability(trace=path):
+        run_scenario_sweep(**BASE, replicates=replicates)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        before = Path(tmp) / "before.jsonl"
+        after = Path(tmp) / "after.jsonl"
+
+        print("1) recording two sweep traces (1 vs 3 replicates) ...")
+        record(before, replicates=1)
+        record(after, replicates=3)
+
+        _, spans = load_trace(after)
+        print(f"   {len(spans)} spans in the larger recording\n")
+
+        print("2) hotspots by self time, and the critical path:")
+        for row in hotspots(spans)[:5]:
+            print(
+                f"   {row['kind']:<18} self {row['self_s']:.4f}s "
+                f"across {row['count']} span(s)"
+            )
+        chain = critical_path(spans)
+        print(
+            "   critical path: "
+            + " -> ".join(step["kind"] for step in chain)
+        )
+        print()
+
+        print("3) exporting the recording:")
+        chrome = Path(tmp) / "after.chrome.json"
+        export_trace(after, "chrome", target=chrome)
+        events = json.loads(chrome.read_text())["traceEvents"]
+        print(f"   chrome trace: {len(events)} events -> {chrome.name}")
+        stacks = export_trace(after, "collapsed")
+        print(f"   collapsed stacks: {len(stacks.splitlines())} lines, "
+              f"e.g. {stacks.splitlines()[0].rsplit(' ', 1)[0]!r}\n")
+
+        print("4) diffing before vs after, with a growth budget:")
+        diff = diff_traces(before, after)
+        for row in diff["kinds"][:5]:
+            print(
+                f"   {row['kind']:<18} count {row['count_a']:>3} -> "
+                f"{row['count_b']:>3}  total "
+                f"{row['total_a_s']:.4f}s -> {row['total_b_s']:.4f}s"
+            )
+        over = diff_regressions(diff, budget_pct=20.0)
+        print(
+            f"   kinds over a 20% growth budget: "
+            f"{[r['kind'] for r in over] or 'none'} "
+            f"(CI exit code {1 if over else 0})"
+        )
+
+
+if __name__ == "__main__":
+    main()

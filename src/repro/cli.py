@@ -50,8 +50,23 @@ Subcommands
     through the store — cache hit -> stored result, miss -> compute
     over the parallel engine and store.
 ``trace``
-    Summarize a recorded JSONL trace: ``repro trace summarize out.jsonl``
-    prints per-span-kind count/total/p50/p99 aggregates.
+    Work with recorded JSONL traces: ``summarize`` prints per-span-kind
+    count/total/p50/p99 aggregates; ``critical-path`` prints the
+    self-time hotspot table and the slowest root-to-leaf chain;
+    ``export --format chrome|collapsed`` converts a trace for
+    ``ui.perfetto.dev`` / flamegraph tools; ``diff A B [--budget-pct
+    X]`` compares two recordings per span kind and exits 1 when any
+    kind's total grew past the budget.
+``profile``
+    Work with the ``--profile DIR`` cProfile dumps: ``merge`` aggregates
+    every per-process ``*.pstats`` file into one cumulative-time table;
+    ``flame`` renders them (or a single dump) as collapsed stacks for
+    flamegraph tools.
+``bench``
+    The perf-regression sentinel: ``check`` gates the current
+    ``BENCH_perf_core.json`` against the recorded floors and the last
+    ``BENCH_history.jsonl`` entry (exit 1 on regression); ``history``
+    prints the recorded speedup trajectory.
 
 ``map``, ``solve``, ``compare``, ``experiment``, ``sweep`` and ``serve``
 accept the observability flags (``repro/obs/``): ``--trace PATH``
@@ -77,6 +92,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 
 from repro.core.evaluate import energy, latency
 from repro.core.kernels import kernel_names
@@ -390,6 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit nonzero if any cell failed permanently "
                            "(default: degrade — report the surviving "
                            "cells and list failures in meta.failures)")
+    p_sw.add_argument("--progress", action="store_true",
+                      help="live stderr heartbeat: cells done/total, "
+                           "rolling-mean ETA, store hit-rate, "
+                           "retry/crash counts, and a stall warning "
+                           "when no cell completes within 4x the p99 "
+                           "inter-completion interval (out of band — "
+                           "the report is byte-identical either way)")
 
     p_st = sub.add_parser(
         "store", help="inspect or maintain a result store"
@@ -440,8 +463,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr = sub.add_parser(
         "trace", help="work with recorded JSONL span traces"
     )
-    p_tr.add_argument("action", choices=["summarize"])
+    p_tr.add_argument(
+        "action", choices=["summarize", "export", "diff", "critical-path"]
+    )
     p_tr.add_argument("path", help="the JSONL trace file to read")
+    p_tr.add_argument("path_b", nargs="?", default=None,
+                      help="diff: the second trace (B); deltas are B "
+                           "relative to A")
+    p_tr.add_argument("--format", choices=["chrome", "collapsed"],
+                      default="chrome", dest="fmt",
+                      help="export format: 'chrome' trace-event JSON "
+                           "(ui.perfetto.dev / chrome://tracing) or "
+                           "'collapsed' flamegraph stacks (default "
+                           "chrome)")
+    p_tr.add_argument("--out", metavar="PATH", default=None,
+                      help="export: write the converted trace here "
+                           "(default: stdout)")
+    p_tr.add_argument("--budget-pct", type=float, default=None,
+                      metavar="PCT",
+                      help="diff: exit 1 when any span kind's total "
+                           "duration grew more than PCT%% over trace A "
+                           "(new kinds count as infinite growth)")
+    p_tr.add_argument("--top", type=int, default=15, metavar="N",
+                      help="critical-path: hotspot-table rows to print "
+                           "(default 15)")
+
+    p_pr = sub.add_parser(
+        "profile",
+        help="work with --profile/REPRO_PROFILE cProfile dumps",
+    )
+    p_pr.add_argument("action", choices=["merge", "flame"])
+    p_pr.add_argument("path",
+                      help="the dump directory (or, for flame, a single "
+                           ".pstats file)")
+    p_pr.add_argument("--top", type=int, default=25, metavar="N",
+                      help="merge: functions in the cumulative table "
+                           "(default 25)")
+    p_pr.add_argument("--out", metavar="PATH", default=None,
+                      help="flame: write the collapsed stacks here "
+                           "(default: stdout)")
+
+    p_bm = sub.add_parser(
+        "bench", help="benchmark history and the regression sentinel"
+    )
+    p_bm.add_argument("action", choices=["check", "history"])
+    p_bm.add_argument("--bench", metavar="PATH",
+                      default="BENCH_perf_core.json",
+                      help="check: the bench report to gate (default: "
+                           "BENCH_perf_core.json in the current "
+                           "directory)")
+    p_bm.add_argument("--history", metavar="PATH",
+                      default="BENCH_history.jsonl",
+                      help="the recorded run log (default: "
+                           "BENCH_history.jsonl in the current "
+                           "directory; benchmark runs append to it)")
+    p_bm.add_argument("--tolerance-pct", type=float, default=20.0,
+                      metavar="PCT",
+                      help="check: allowed drop below the last recorded "
+                           "run before the band gate trips (default 20)")
+    p_bm.add_argument("--last", type=int, default=None, metavar="N",
+                      help="history: show only the newest N runs")
     return parser
 
 
@@ -724,6 +805,7 @@ def cmd_sweep(args, out) -> int:
             policy=_policy_from_args(args),
             faults=args.fault_plan,
             stats=stats,
+            progress=args.progress,
         )
     except (ValueError, KeyError, argparse.ArgumentTypeError) as exc:
         print(str(exc.args[0] if exc.args else exc), file=out)
@@ -837,14 +919,109 @@ def cmd_serve(args, out) -> int:
 
 
 def cmd_trace(args, out) -> int:
-    from repro.obs.summarize import render_trace_summary
-
     try:
-        print(render_trace_summary(args.path), file=out)
+        if args.action == "summarize":
+            from repro.obs.summarize import render_trace_summary
+
+            print(render_trace_summary(args.path), file=out)
+            return 0
+        if args.action == "critical-path":
+            from repro.obs.analyze import render_hotspots
+
+            print(render_hotspots(args.path, top=args.top), file=out)
+            return 0
+        if args.action == "export":
+            from repro.obs.export import export_trace
+
+            result = export_trace(args.path, args.fmt, target=args.out)
+            if args.out:
+                print(f"{args.fmt} export written to {args.out}",
+                      file=out)
+            else:
+                out.write(result)
+            return 0
+        # diff
+        if args.path_b is None:
+            print("trace diff needs two trace files (A B)", file=out)
+            return 2
+        from repro.obs.analyze import (
+            diff_regressions,
+            diff_traces,
+            render_diff,
+        )
+
+        diff = diff_traces(args.path, args.path_b)
+        regressions = None
+        if args.budget_pct is not None:
+            regressions = diff_regressions(diff, args.budget_pct)
+        print(render_diff(diff, regressions), file=out)
+        return 1 if regressions else 0
     except (OSError, ValueError) as exc:
         print(f"bad trace file: {exc}", file=out)
         return 2
-    return 0
+
+
+def cmd_profile(args, out) -> int:
+    from repro.obs.profile import merge_profiles, render_merged_profile
+
+    try:
+        if args.action == "merge":
+            print(render_merged_profile(args.path, top=args.top),
+                  file=out)
+            return 0
+        # flame: a directory merges every dump first; a single .pstats
+        # file converts directly.
+        from repro.obs.export import pstats_to_collapsed
+
+        source = Path(args.path)
+        stats = merge_profiles(source) if source.is_dir() else source
+        text = pstats_to_collapsed(stats)
+        if args.out:
+            atomic_write_text(args.out, text)
+            print(f"collapsed stacks written to {args.out}", file=out)
+        else:
+            out.write(text)
+        return 0
+    except (OSError, ValueError) as exc:
+        print(f"profile error: {exc}", file=out)
+        return 2
+
+
+def cmd_bench(args, out) -> int:
+    from repro.obs.history import (
+        check_bench,
+        load_history,
+        render_check,
+        render_history,
+    )
+
+    try:
+        history = load_history(args.history)
+    except ValueError as exc:
+        print(f"bad history file: {exc}", file=out)
+        return 2
+    if args.action == "history":
+        print(render_history(history, last=args.last), file=out)
+        return 0
+    bench_path = Path(args.bench)
+    if not bench_path.exists():
+        print(f"{bench_path}: no bench report (run the benchmarks "
+              f"first, or pass --bench)", file=out)
+        return 2
+    try:
+        bench = json.loads(bench_path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"bad bench report {bench_path}: {exc}", file=out)
+        return 2
+    try:
+        result = check_bench(
+            bench, history, tolerance=args.tolerance_pct / 100.0
+        )
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+    print(render_check(result), file=out)
+    return 0 if result["ok"] else 1
 
 
 def main(argv=None, out=sys.stdout) -> int:
@@ -933,6 +1110,10 @@ def _run_command(args, out) -> int:
         return cmd_serve(args, out)
     if args.command == "trace":
         return cmd_trace(args, out)
+    if args.command == "profile":
+        return cmd_profile(args, out)
+    if args.command == "bench":
+        return cmd_bench(args, out)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

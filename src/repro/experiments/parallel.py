@@ -211,6 +211,7 @@ def run_tasks(
     tokens: Sequence | None = None,
     deadlines: "Sequence[float | None] | None" = None,
     stats: ExecutionStats | None = None,
+    progress: Callable | None = None,
 ) -> list:
     """Apply ``fn`` to every task, preserving order, surviving faults.
 
@@ -244,6 +245,14 @@ def run_tasks(
         An :class:`~repro.resilience.ExecutionStats` to fill with
         retry/respawn/failure counters (never part of canonical
         reports).
+    ``progress``
+        An optional ``callback(index, result)`` invoked once per task
+        as its *terminal* outcome lands (success or
+        :class:`~repro.resilience.TaskFailure`; retried attempts do not
+        fire it).  On the pool path it fires as futures complete, i.e.
+        in completion order, not submission order — strictly a liveness
+        channel (e.g. ``repro sweep --progress``), never part of any
+        canonical output.
     """
     tasks = list(tasks)
     policy = RetryPolicy() if policy is None else policy
@@ -265,26 +274,41 @@ def run_tasks(
     # Reuse still multiplies *within* the run, which is where cells
     # sharing a graph actually cluster.
     reset_worker_cache()
-    if jobs <= 1:
-        results = _run_serial(
-            fn, tasks, policy, plan, tokens, failures, stats
-        )
-    else:
-        results = _run_pool(
-            fn, tasks, jobs, chunksize, policy, plan, tokens, deadlines,
-            stats, capture_config(),
-        )
-        if failures == "raise":
-            for r in results:
-                if isinstance(r, TaskFailure):
-                    raise TaskError(r)
+    # Mirror resilience activity into the metrics registry (satellite
+    # of the telemetry-analytics PR): deltas only, and only when
+    # nonzero, so a clean run's counter set stays jobs-invariant (pool
+    # respawns differ from serial only under faults).
+    before = (stats.retries, stats.crashes, stats.timeouts, stats.respawns)
+    try:
+        if jobs <= 1:
+            results = _run_serial(
+                fn, tasks, policy, plan, tokens, failures, stats, progress
+            )
+        else:
+            results = _run_pool(
+                fn, tasks, jobs, chunksize, policy, plan, tokens,
+                deadlines, stats, capture_config(), progress,
+            )
+            if failures == "raise":
+                for r in results:
+                    if isinstance(r, TaskFailure):
+                        raise TaskError(r)
+    finally:
+        after = (stats.retries, stats.crashes, stats.timeouts,
+                 stats.respawns)
+        for name, b, a in zip(
+            ("retries", "crashes", "timeouts", "respawns"), before, after
+        ):
+            if a > b:
+                inc(f"engine.{name}", a - b)
     return results
 
 
 # ----------------------------------------------------------------------
 # Serial path
 # ----------------------------------------------------------------------
-def _run_serial(fn, tasks, policy, plan, tokens, failures, stats):
+def _run_serial(fn, tasks, policy, plan, tokens, failures, stats,
+                progress=None):
     """In-process execution with the same retry contract as the pool.
 
     Injected crashes and hangs surface as :class:`WorkerCrash` /
@@ -303,6 +327,8 @@ def _run_serial(fn, tasks, policy, plan, tokens, failures, stats):
                     if site is not None:
                         trigger_serial(site)
                 results.append(fn(task))
+                if progress is not None:
+                    progress(i, results[-1])
                 break
             except WorkerCrash as exc:
                 reason, message = "crash", str(exc)
@@ -318,6 +344,8 @@ def _run_serial(fn, tasks, policy, plan, tokens, failures, stats):
                 )
                 stats.failures.append(tf)
                 results.append(tf)
+                if progress is not None:
+                    progress(i, tf)
                 break
             if attempt >= policy.max_attempts:
                 tf = TaskFailure(i, reason, message, attempt)
@@ -325,6 +353,8 @@ def _run_serial(fn, tasks, policy, plan, tokens, failures, stats):
                 if failures == "raise":
                     raise TaskError(tf)
                 results.append(tf)
+                if progress is not None:
+                    progress(i, tf)
                 break
             time.sleep(policy.delay(attempt, _token(tokens, i)))
             stats.retries += 1
@@ -366,7 +396,7 @@ def _kill_pool(pool) -> None:
 
 def _run_pool(
     fn, tasks, jobs, chunksize, policy, plan, tokens, deadlines, stats,
-    obs_cfg=None,
+    obs_cfg=None, progress=None,
 ):
     """Tracked per-chunk futures with kill-and-respawn recovery.
 
@@ -403,6 +433,8 @@ def _run_pool(
                 )
                 stats.failures.append(tf)
                 results[i] = tf
+                if progress is not None:
+                    progress(i, tf)
             else:
                 stats.retries += 1
                 retry_queue.append(((i,), attempt + 1))
@@ -459,6 +491,8 @@ def _run_pool(
                             results[i] = tf
                         else:
                             results[i] = r
+                        if progress is not None:
+                            progress(i, results[i])
                 if broke:
                     continue
                 if not done and pending:

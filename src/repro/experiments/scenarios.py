@@ -230,6 +230,7 @@ def run_scenario_sweep(
     faults=None,
     stats: ExecutionStats | None = None,
     kernel: str | None = None,
+    progress=None,
 ) -> dict:
     """Run the sweep and return the consolidated JSON-serialisable report.
 
@@ -314,6 +315,14 @@ def run_scenario_sweep(
         default: the ambient :mod:`repro.core.kernels` selection).  All
         kernels produce byte-identical reports; the choice is purely a
         speed knob and never enters cell fingerprints.
+    ``progress``
+        ``True`` (CLI ``--progress``) emits a live stderr heartbeat —
+        cells done/total, rolling-mean ETA, store hit-rate, retry/crash
+        counts — plus a stall warning when no cell completes within the
+        :class:`~repro.obs.progress.SweepProgress` stall window; pass a
+        configured ``SweepProgress`` for custom stream/thresholds.
+        Strictly out of band: the consolidated report is byte-identical
+        with progress on or off.
     """
     from repro.store.backend import open_store
     from repro.store.fingerprint import cell_fingerprint
@@ -334,6 +343,7 @@ def run_scenario_sweep(
                 store=store, eviction=eviction, resume=resume,
                 shard=shard, limit=limit, checkpoint=checkpoint,
                 policy=policy, faults=faults, stats=stats, kernel=None,
+                progress=progress,
             )
 
     rng = as_rng(seed)
@@ -380,6 +390,14 @@ def run_scenario_sweep(
 
         store.configure_eviction(EvictionConfig.from_spec(eviction))
 
+    from repro.obs.progress import as_progress
+
+    tracker = as_progress(progress, stats=stats)
+    on_cell = None
+    if tracker is not None:
+        def on_cell(_index, result):
+            tracker.cell_done(failed=isinstance(result, TaskFailure))
+
     def execute(indices: list[int]):
         """Run a batch of cells fault-tolerantly; terminally failed
         cells come back as TaskFailure records (index-local)."""
@@ -392,10 +410,13 @@ def run_scenario_sweep(
             faults=plan,
             tokens=[tasks[i][3] for i in indices],
             stats=stats,
+            progress=on_cell,
         )
 
     choices_by_idx: dict[int, PeriodChoice] = {}
     failed_by_idx: dict[int, TaskFailure] = {}
+    if tracker is not None:
+        tracker.start(len(selected))
     try:
         with trace_span(
             "sweep.run", cells=len(selected), solvers=len(heuristics)
@@ -424,6 +445,8 @@ def run_scenario_sweep(
                         choices_by_idx[idx] = choice_from_payload(
                             payload, spg, platform, order=heuristics
                         )
+                        if tracker is not None:
+                            tracker.cell_done(resumed=True)
                     else:
                         misses.append(idx)
                 batch = len(misses) if not checkpoint else max(1, checkpoint)
@@ -441,6 +464,8 @@ def run_scenario_sweep(
                         inc("sweep.cells_computed")
                         choices_by_idx[idx] = res
     finally:
+        if tracker is not None:
+            tracker.finish()
         if own_store:
             store.close()
 

@@ -20,15 +20,55 @@ for any ``jobs``/shard/resume combination — CI ``cmp``-enforces it):
   jobs-invariantly — pool workers buffer events locally and the parent
   merges them in task-index order.
 * **Profiling** (:mod:`repro.obs.profile`): opt-in per-worker
-  ``cProfile`` dumps via ``REPRO_PROFILE``/``--profile DIR``.
+  ``cProfile`` dumps via ``REPRO_PROFILE``/``--profile DIR``;
+  ``repro profile merge DIR`` aggregates the per-process dumps.
+
+On top of the recorders sit pure post-processing layers: **analytics**
+(:mod:`repro.obs.analyze` — self-time hotspots, critical path, trace
+diff with a budget gate), **export** (:mod:`repro.obs.export` — Chrome
+trace-event JSON and collapsed flamegraph stacks), the **bench
+sentinel** (:mod:`repro.obs.history` — schema-versioned
+``BENCH_history.jsonl`` log and the ``repro bench check`` regression
+gate), and **live progress** (:mod:`repro.obs.progress` — the
+``repro sweep --progress`` stderr heartbeat with stall detection).
 
 Everything is a no-op (one attribute check) until a session is
 installed — via :func:`observability`, the CLI's ``--trace``/
 ``--metrics`` flags, or the ``REPRO_TRACE`` environment variable.
 """
 
+from repro.obs.analyze import (
+    critical_path,
+    diff_regressions,
+    diff_traces,
+    hotspots,
+    self_times,
+    span_tree,
+)
+from repro.obs.export import (
+    export_trace,
+    pstats_to_collapsed,
+    to_chrome_trace,
+    to_collapsed_stacks,
+    write_chrome_trace,
+)
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    BenchMetric,
+    METRICS,
+    append_history,
+    check_bench,
+    load_history,
+)
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
-from repro.obs.profile import PROFILE_ENV, maybe_profile, profile_dir
+from repro.obs.profile import (
+    PROFILE_ENV,
+    maybe_profile,
+    merge_profiles,
+    profile_dir,
+    render_merged_profile,
+)
+from repro.obs.progress import SweepProgress, as_progress
 from repro.obs.session import (
     ObsSession,
     absorb,
@@ -45,6 +85,7 @@ from repro.obs.session import (
     trace_span,
 )
 from repro.obs.summarize import (
+    percentile,
     render_metrics,
     render_trace_summary,
     summarize_spans,
@@ -88,8 +129,34 @@ __all__ = [
     "PROFILE_ENV",
     "maybe_profile",
     "profile_dir",
+    "merge_profiles",
+    "render_merged_profile",
     # summaries
+    "percentile",
     "summarize_spans",
     "render_trace_summary",
     "render_metrics",
+    # analytics
+    "span_tree",
+    "self_times",
+    "hotspots",
+    "critical_path",
+    "diff_traces",
+    "diff_regressions",
+    # export
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_collapsed_stacks",
+    "pstats_to_collapsed",
+    "export_trace",
+    # bench history / sentinel
+    "HISTORY_SCHEMA_VERSION",
+    "BenchMetric",
+    "METRICS",
+    "append_history",
+    "load_history",
+    "check_bench",
+    # live progress
+    "SweepProgress",
+    "as_progress",
 ]

@@ -1,0 +1,349 @@
+"""Benchmark history and the perf-regression sentinel.
+
+The ROADMAP's "keep the speedup trajectory monotone" contract was
+enforced by eyeballing ``BENCH_perf_core.json``; this module makes it a
+command CI runs:
+
+* **History.**  Every benchmark script appends the sections it just
+  merged into ``BENCH_perf_core.json`` to a schema-versioned JSONL log,
+  ``BENCH_history.jsonl`` (one line per bench run, via
+  ``benchmarks/_common.merge_bench_sections``).  Commit id and
+  timestamp are *injected by the caller* — this module never reads the
+  clock or the git tree itself, so nothing here can leak
+  nondeterminism into paths that import it.
+* **Sentinel.**  :func:`check_bench` compares the current
+  ``BENCH_perf_core.json`` against the recorded floors and the last
+  distinct history entry.  ``repro bench check`` exits 1 on regression.
+
+Tracked metrics and their floors (see ``ROADMAP.md``):
+
+========  =====================================  =====  =========
+metric    section path                           floor  basis
+========  =====================================  =====  =========
+fig10     ``fig10_panel.speedup_vs_seed``        3.7x   baseline
+refine    ``refine.speedup``                     5x     ratio
+store     ``store.speedup``                      5x     ratio
+dpa1d     ``dpa1d.speedup_geomean``              3x     ratio
+========  =====================================  =====  =========
+
+``ratio`` metrics divide two timings measured on the *same* host in
+the same run, so their floors hold on any machine and are enforced
+absolutely.  ``baseline`` metrics divide by a wall-clock recorded once
+on the seed machine; on a slower host class the quotient conflates
+code speed with machine speed, so the floor is enforced as a
+*trajectory* gate — it trips when the value falls below a floor the
+history had met — and the tolerance band against the last distinct
+run is the binding check everywhere.  Either way a regression is a
+nonzero exit, which is all CI needs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.util.fmt import format_table
+from repro.util.version import repro_version
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "BenchMetric",
+    "METRICS",
+    "append_history",
+    "load_history",
+    "extract_metrics",
+    "check_bench",
+    "render_check",
+    "render_history",
+]
+
+#: Version of the history-line layout; bump on structural change.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default fractional tolerance band vs the last distinct run.
+DEFAULT_TOLERANCE = 0.2
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One tracked benchmark metric.
+
+    ``path`` walks ``BENCH_perf_core.json``; ``basis`` is ``"ratio"``
+    (same-host quotient, floor absolute) or ``"baseline"`` (quotient
+    over a seed-machine wall clock, floor enforced as a trajectory
+    gate — see the module docstring).
+    """
+
+    name: str
+    path: tuple[str, ...]
+    floor: float
+    basis: str = "ratio"
+
+    def extract(self, bench: dict) -> float | None:
+        node: object = bench
+        for key in self.path:
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+        try:
+            return float(node)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return None
+
+
+#: The tracked metrics, in report order.
+METRICS: tuple[BenchMetric, ...] = (
+    BenchMetric("fig10", ("fig10_panel", "speedup_vs_seed"), 3.7,
+                basis="baseline"),
+    BenchMetric("refine", ("refine", "speedup"), 5.0),
+    BenchMetric("store", ("store", "speedup"), 5.0),
+    BenchMetric("dpa1d", ("dpa1d", "speedup_geomean"), 3.0),
+)
+
+
+# ----------------------------------------------------------------------
+# History log
+# ----------------------------------------------------------------------
+def append_history(
+    sections: dict,
+    path: "str | Path",
+    commit: str | None = None,
+    timestamp: float | None = None,
+) -> Path:
+    """Append one history line recording ``sections``.
+
+    ``commit`` and ``timestamp`` come from the caller (the benchmark
+    scripts, which *are* allowed to ask git and the clock); ``None``
+    records ``null``.  The file is append-only JSONL so concurrent
+    bench runs at worst interleave whole lines.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "history_schema": HISTORY_SCHEMA_VERSION,
+        "repro_version": repro_version(),
+        "commit": commit,
+        "ts": timestamp,
+        "sections": sections,
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: "str | Path") -> list[dict]:
+    """Parse a history JSONL file into a list of entries.
+
+    Mirrors :func:`~repro.obs.trace.load_trace`'s error contract: a
+    malformed line raises ``ValueError`` naming the line number; a
+    missing file is an empty history, not an error.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: list[dict] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            if (
+                not isinstance(payload, dict)
+                or "history_schema" not in payload
+                or not isinstance(payload.get("sections"), dict)
+            ):
+                raise ValueError(
+                    f"{path}:{lineno}: not a bench-history entry "
+                    f"(need 'history_schema' and 'sections')"
+                )
+            entries.append(payload)
+    return entries
+
+
+def extract_metrics(bench: dict) -> dict[str, float | None]:
+    """The tracked metric values found in one sections dict."""
+    return {m.name: m.extract(bench) for m in METRICS}
+
+
+# ----------------------------------------------------------------------
+# The sentinel
+# ----------------------------------------------------------------------
+def _last_distinct(
+    history: list[dict], metric: BenchMetric, current: float
+) -> tuple[float | None, float | None]:
+    """``(last, best)`` recorded values for one metric.
+
+    ``last`` is the most recent recorded value that differs from
+    ``current`` — a bench run appends itself to the history before the
+    check runs, so the newest identical entry is the run under test,
+    not its predecessor.  ``best`` is the maximum ever recorded.
+    """
+    values = [
+        v for entry in history
+        if (v := metric.extract(entry.get("sections", {}))) is not None
+    ]
+    best = max(values, default=None)
+    last = None
+    for v in reversed(values):
+        if v != current:
+            last = v
+            break
+    if last is None and values:
+        last = values[-1]
+    return last, best
+
+
+def check_bench(
+    bench: dict,
+    history: list[dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict:
+    """Gate the current bench sections against floors and history.
+
+    Per metric:
+
+    * ``floor_ok`` — ``value >= floor`` for ratio-basis metrics;
+      baseline-basis metrics trip only when the history's best had met
+      the floor (a genuine trajectory regression, not a slower host).
+    * ``band_ok`` — ``value >= last * (1 - tolerance)`` against the
+      last distinct recorded run (vacuously true with no history).
+    * a metric missing from the current bench report fails outright —
+      a deleted section must not silently retire its floor.
+
+    Returns ``{"ok": bool, "tolerance": ..., "metrics": [...],
+    "regressions": [names]}``.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    rows = []
+    regressions = []
+    for metric in METRICS:
+        value = metric.extract(bench)
+        if value is None:
+            rows.append({
+                "metric": metric.name,
+                "value": None,
+                "floor": metric.floor,
+                "basis": metric.basis,
+                "floor_ok": False,
+                "last": None,
+                "best": None,
+                "band_ok": False,
+                "ok": False,
+                "note": "section missing from bench report",
+            })
+            regressions.append(metric.name)
+            continue
+        last, best = _last_distinct(history, metric, value)
+        meets_floor = value >= metric.floor
+        if metric.basis == "ratio":
+            floor_ok = meets_floor
+            note = "" if floor_ok else "below floor"
+        else:
+            # Baseline basis: only a *fall* below a floor the history
+            # had met is attributable to the code rather than the host.
+            history_met = best is not None and best >= metric.floor
+            floor_ok = meets_floor or not history_met
+            note = (
+                "" if meets_floor
+                else "regressed below previously-met floor"
+                if not floor_ok
+                else "below floor (host slower than recorded "
+                     "baseline; band is the binding gate)"
+            )
+        band_ok = last is None or value >= last * (1.0 - tolerance)
+        if not band_ok:
+            note = (note + "; " if note else "") + (
+                f"fell >{tolerance:.0%} below last recorded run"
+            )
+        ok = floor_ok and band_ok
+        if not ok:
+            regressions.append(metric.name)
+        rows.append({
+            "metric": metric.name,
+            "value": value,
+            "floor": metric.floor,
+            "basis": metric.basis,
+            "floor_ok": floor_ok,
+            "last": last,
+            "best": best,
+            "band_ok": band_ok,
+            "ok": ok,
+            "note": note,
+        })
+    return {
+        "ok": not regressions,
+        "tolerance": tolerance,
+        "entries": len(history),
+        "metrics": rows,
+        "regressions": regressions,
+    }
+
+
+def render_check(result: dict) -> str:
+    """Render a :func:`check_bench` result as one ASCII table."""
+
+    def num(v):
+        return "-" if v is None else f"{v:.3f}"
+
+    rows = [
+        [
+            r["metric"],
+            num(r["value"]),
+            f"{r['floor']:.1f}x ({r['basis']})",
+            "ok" if r["floor_ok"] else "FAIL",
+            num(r["last"]),
+            "ok" if r["band_ok"] else "FAIL",
+            r["note"] or "-",
+        ]
+        for r in result["metrics"]
+    ]
+    verdict = (
+        "OK: speedup trajectory holds"
+        if result["ok"]
+        else f"REGRESSION: {', '.join(result['regressions'])}"
+    )
+    return format_table(
+        ["metric", "current", "floor", "floor", "last", "band", "note"],
+        rows,
+        title=(
+            f"Bench sentinel vs {result['entries']} recorded run(s), "
+            f"tolerance {result['tolerance']:.0%}"
+        ),
+    ) + f"\n{verdict}"
+
+
+def render_history(history: list[dict], last: int | None = None) -> str:
+    """Render the recorded trajectory, newest last."""
+    if not history:
+        return "bench history: no recorded runs"
+    shown = history if last is None else history[-last:]
+    rows = []
+    for entry in shown:
+        metrics = extract_metrics(entry.get("sections", {}))
+        rows.append([
+            (entry.get("commit") or "-"),
+            entry.get("repro_version", "-"),
+            *[
+                "-" if metrics[m.name] is None
+                else f"{metrics[m.name]:.3f}"
+                for m in METRICS
+            ],
+        ])
+    return format_table(
+        ["commit", "version", *[m.name for m in METRICS]],
+        rows,
+        title=(
+            f"Bench history: {len(shown)} of {len(history)} "
+            f"recorded run(s) (floors: "
+            + ", ".join(f"{m.name} {m.floor:g}x" for m in METRICS)
+            + ")"
+        ),
+    )

@@ -16,11 +16,19 @@ one environment lookup.
 
 from __future__ import annotations
 
+import io
 import os
 from contextlib import contextmanager
 from pathlib import Path
 
-__all__ = ["PROFILE_ENV", "maybe_profile", "profile_dir"]
+__all__ = [
+    "PROFILE_ENV",
+    "maybe_profile",
+    "profile_dir",
+    "find_profile_dumps",
+    "merge_profiles",
+    "render_merged_profile",
+]
 
 #: Environment variable naming the profile-dump directory.
 PROFILE_ENV = "REPRO_PROFILE"
@@ -57,3 +65,67 @@ def maybe_profile(tag: str):
         profiler.dump_stats(
             target / f"{tag}-{os.getpid()}-{_SEQ}.pstats"
         )
+
+
+# ----------------------------------------------------------------------
+# Merging dumps (``repro profile merge DIR``)
+# ----------------------------------------------------------------------
+def find_profile_dumps(directory: "str | Path") -> list[Path]:
+    """The ``*.pstats`` dumps under ``directory``, sorted by name.
+
+    Name order groups a profiled run's dumps deterministically
+    (``<tag>-<pid>-<seq>``); merging is order-insensitive anyway.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"{directory}: not a directory (expected the --profile/"
+            f"{PROFILE_ENV} dump directory)"
+        )
+    return sorted(directory.glob("*.pstats"))
+
+
+def merge_profiles(source: "str | Path | list[Path]"):
+    """Aggregate per-process profile dumps into one ``pstats.Stats``.
+
+    ``source`` is the dump directory (or an explicit file list).  A
+    profiled pool sweep scatters one dump per executed chunk across
+    parent and worker pids; ``Stats.add`` sums their per-function
+    timings, so the merged view answers "where did the whole run spend
+    its time" regardless of which process did the spending.
+    """
+    import pstats
+
+    files = (
+        source if isinstance(source, list) else find_profile_dumps(source)
+    )
+    if not files:
+        raise FileNotFoundError(
+            f"no *.pstats dumps in {source} (run with --profile DIR or "
+            f"{PROFILE_ENV}=DIR first)"
+        )
+    stats = pstats.Stats(str(files[0]))
+    for path in files[1:]:
+        stats.add(str(path))
+    return stats
+
+
+def render_merged_profile(
+    source: "str | Path | list[Path]", top: int = 25
+) -> str:
+    """Text report for ``repro profile merge``: the merged cumulative
+    table (top ``top`` functions) plus a one-line provenance header."""
+    files = (
+        source if isinstance(source, list) else find_profile_dumps(source)
+    )
+    stats = merge_profiles(files)
+    buf = io.StringIO()
+    stats.stream = buf
+    stats.sort_stats("cumulative").print_stats(top)
+    body = buf.getvalue()
+    header = (
+        f"Merged profile: {len(files)} dump(s) "
+        f"({', '.join(p.name for p in files[:6])}"
+        f"{', ...' if len(files) > 6 else ''})"
+    )
+    return header + "\n" + body.rstrip()

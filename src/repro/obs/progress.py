@@ -1,0 +1,262 @@
+"""Live sweep progress: an out-of-band stderr heartbeat.
+
+A long ``repro sweep`` is silent until the consolidated report prints;
+:class:`SweepProgress` gives the operator a pulse without touching the
+report.  The channel is **strictly out of band**: it writes to its own
+stream (stderr by default), reads counters that already exist
+(:class:`~repro.resilience.ExecutionStats`), and a sweep run with
+progress on emits a byte-identical consolidated report (CI
+``cmp``-enforces it).
+
+The heartbeat line::
+
+    [sweep 12/40  30.0%] eta 42s | 1.31 cells/s | hits 5 (41.7%) | \
+retries 1 crashes 0 timeouts 0
+
+* **ETA** is a rolling mean over the last few inter-completion
+  intervals times the remaining cell count — robust to the early cells
+  warming caches slower than the steady state.
+* **hits** counts store-resumed cells (the live hit-rate of a resumed
+  sweep); retries/crashes/timeouts mirror the engine's live
+  :class:`~repro.resilience.ExecutionStats`.
+* **Stall detection**: a background monitor thread emits a
+  ``progress.stall`` warning (and an obs event, when a session is
+  active) when no cell has completed within ``stall_factor`` x the p99
+  inter-completion interval — the operator's cue that a worker is hung
+  or a cell is pathological, long before any deadline fires.
+
+Heartbeats are rate-limited to one per ``interval_s``; the monitor
+thread only reads counters and writes the stream, so it cannot perturb
+task execution or determinism.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from repro.obs.session import event, inc
+from repro.obs.summarize import percentile
+
+__all__ = ["SweepProgress", "as_progress"]
+
+
+class SweepProgress:
+    """Progress tracker for one sweep (use via ``run_scenario_sweep
+    (progress=...)`` or ``repro sweep --progress``).
+
+    ``stream`` defaults to ``sys.stderr`` (resolved lazily so pytest's
+    capture sees it); ``use_thread=False`` disables the background
+    monitor — completions still emit heartbeats, and tests drive stall
+    detection deterministically through :meth:`check_stall` with an
+    injected ``clock``.
+    """
+
+    #: Rolling window (completions) for the ETA estimate.
+    ETA_WINDOW = 20
+
+    def __init__(
+        self,
+        stream=None,
+        interval_s: float = 2.0,
+        stall_factor: float = 4.0,
+        min_samples: int = 5,
+        stats=None,
+        use_thread: bool = True,
+        clock=time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if stall_factor <= 0:
+            raise ValueError("stall_factor must be positive")
+        self._stream = stream
+        self.interval_s = interval_s
+        self.stall_factor = stall_factor
+        self.min_samples = min_samples
+        self.stats = stats
+        self.use_thread = use_thread
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.total = 0
+        self.done = 0
+        self.resumed = 0
+        self.failed = 0
+        self.stalls = 0
+        self._intervals: list[float] = []
+        self._t0 = 0.0
+        self._last_done_at = 0.0
+        self._last_emit_at = 0.0
+        self._stall_flagged = False
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, total: int) -> "SweepProgress":
+        self.total = int(total)
+        self._t0 = self._last_done_at = self._clock()
+        self._started = True
+        self._emit(f"[sweep 0/{self.total}] started")
+        if self.use_thread and self.total > 0:
+            self._thread = threading.Thread(
+                target=self._monitor, name="sweep-progress", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def finish(self) -> None:
+        if not self._started:
+            return
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        elapsed = self._clock() - self._t0
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        self._emit(
+            f"[sweep {self.done}/{self.total}] finished in "
+            f"{elapsed:.1f}s ({rate:.2f} cells/s, "
+            f"{self.resumed} store hits, {self.failed} failed, "
+            f"{self.stalls} stall warnings)"
+        )
+        self._started = False
+
+    def __enter__(self) -> "SweepProgress":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.finish()
+        return False
+
+    # -- recording ------------------------------------------------------
+    def cell_done(self, resumed: bool = False, failed: bool = False) -> None:
+        """Record one finished cell (store hit, computed, or failed)."""
+        now = self._clock()
+        with self._lock:
+            self.done += 1
+            if resumed:
+                self.resumed += 1
+            if failed:
+                self.failed += 1
+            self._intervals.append(now - self._last_done_at)
+            self._last_done_at = now
+            self._stall_flagged = False
+            force = self.done >= self.total
+        self.heartbeat(now=now, force=force)
+
+    # -- reporting ------------------------------------------------------
+    def _eta_s(self) -> float | None:
+        if not self._intervals or self.done == 0:
+            return None
+        window = self._intervals[-self.ETA_WINDOW:]
+        mean = sum(window) / len(window)
+        return mean * (self.total - self.done)
+
+    def render_line(self) -> str:
+        """The current heartbeat line (no side effects)."""
+        with self._lock:
+            done, total = self.done, self.total
+            resumed, failed = self.resumed, self.failed
+            eta = self._eta_s()
+        pct = 100.0 * done / total if total else 100.0
+        elapsed = self._clock() - self._t0
+        rate = done / elapsed if elapsed > 0 else 0.0
+        parts = [f"[sweep {done}/{total} {pct:5.1f}%]"]
+        parts.append(
+            "eta -" if eta is None or done >= total
+            else f"eta {eta:.0f}s"
+        )
+        parts.append(f"{rate:.2f} cells/s")
+        if resumed or failed:
+            hit_rate = 100.0 * resumed / done if done else 0.0
+            parts.append(f"hits {resumed} ({hit_rate:.1f}%)")
+        if failed:
+            parts.append(f"failed {failed}")
+        s = self.stats
+        if s is not None and (s.retries or s.crashes or s.timeouts):
+            parts.append(
+                f"retries {s.retries} crashes {s.crashes} "
+                f"timeouts {s.timeouts}"
+            )
+        return " | ".join(parts)
+
+    def heartbeat(self, now: float | None = None, force: bool = False) -> bool:
+        """Emit a heartbeat line if the rate limit allows; returns
+        whether a line was written."""
+        now = self._clock() if now is None else now
+        if not force and now - self._last_emit_at < self.interval_s:
+            return False
+        self._last_emit_at = now
+        self._emit(self.render_line())
+        return True
+
+    def check_stall(self, now: float | None = None) -> bool:
+        """Emit a stall warning when no cell completed within
+        ``stall_factor`` x p99 of the inter-completion intervals.
+
+        One warning per silent stretch: the flag rearms on the next
+        completion.  Needs ``min_samples`` completed cells first (the
+        p99 is meaningless earlier).
+        """
+        now = self._clock() if now is None else now
+        with self._lock:
+            if (
+                self._stall_flagged
+                or self.done >= self.total
+                or len(self._intervals) < self.min_samples
+            ):
+                return False
+            p99 = percentile(sorted(self._intervals), 0.99)
+            threshold = self.stall_factor * max(p99, 1e-9)
+            gap = now - self._last_done_at
+            if gap <= threshold:
+                return False
+            self._stall_flagged = True
+            self.stalls += 1
+        self._emit(
+            f"[sweep {self.done}/{self.total}] STALL: no cell completed "
+            f"for {gap:.1f}s (> {self.stall_factor:g} x p99 "
+            f"{p99:.2f}s) — a worker may be hung"
+        )
+        event("progress.stall", gap_s=gap, threshold_s=threshold,
+              done=self.done, total=self.total)
+        inc("progress.stalls")
+        return True
+
+    # -- internals ------------------------------------------------------
+    def _emit(self, line: str) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        try:
+            print(line, file=stream, flush=True)
+        except (OSError, ValueError):  # pragma: no cover - closed stream
+            pass
+
+    def _monitor(self) -> None:  # pragma: no cover - timing-dependent
+        tick = min(0.5, self.interval_s / 2)
+        while not self._stop.wait(tick):
+            now = self._clock()
+            self.check_stall(now=now)
+            if now - self._last_emit_at >= self.interval_s:
+                self.heartbeat(now=now)
+
+
+def as_progress(progress, stats=None) -> SweepProgress | None:
+    """Normalise ``run_scenario_sweep``'s ``progress`` argument.
+
+    ``None``/``False`` disable the channel, ``True`` builds the default
+    stderr reporter, and a :class:`SweepProgress` passes through (its
+    ``stats`` is filled in if the caller had not bound one).
+    """
+    if progress is None or progress is False:
+        return None
+    if progress is True:
+        return SweepProgress(stats=stats)
+    if isinstance(progress, SweepProgress):
+        if progress.stats is None:
+            progress.stats = stats
+        return progress
+    raise TypeError(
+        f"progress must be None, bool or SweepProgress, got "
+        f"{type(progress).__name__}"
+    )

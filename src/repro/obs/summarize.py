@@ -9,20 +9,38 @@ separately since their durations are definitionally zero.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 
 from repro.obs.trace import Span, load_trace
 from repro.util.fmt import format_table
 
-__all__ = ["summarize_spans", "render_trace_summary", "render_metrics"]
+__all__ = [
+    "percentile",
+    "summarize_spans",
+    "render_trace_summary",
+    "render_metrics",
+]
 
 
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Exact nearest-rank percentile of an ascending list (q in [0, 1]).
+
+    The rank is ``ceil(q * n)`` computed on the *exact* quantile, so a
+    p99.9 request (``q = 0.999``) selects rank ``ceil(0.999 n)`` rather
+    than silently collapsing to p99 the way a truncated integer percent
+    would.  ``q = 0`` returns the minimum, ``q = 1`` the maximum.
+    """
     if not sorted_values:
         return 0.0
-    rank = max(1, -(-int(q * 100) * len(sorted_values) // 100))
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q!r}")
+    rank = max(1, math.ceil(q * len(sorted_values)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+#: Deprecated private alias (the shared helper is :func:`percentile`).
+_percentile = percentile
 
 
 def summarize_spans(spans: list[Span]) -> list[dict]:
@@ -42,8 +60,8 @@ def summarize_spans(spans: list[Span]) -> list[dict]:
             "events": sum(1 for s in group if s.status == "event"),
             "total_s": total,
             "mean_s": total / len(group),
-            "p50_s": _percentile(durations, 0.50),
-            "p99_s": _percentile(durations, 0.99),
+            "p50_s": percentile(durations, 0.50),
+            "p99_s": percentile(durations, 0.99),
             "max_s": durations[-1],
         })
     out.sort(key=lambda row: (-row["total_s"], row["kind"]))
